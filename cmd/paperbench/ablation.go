@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"holistic"
+	"holistic/internal/mst"
+	"holistic/internal/sortutil"
+)
+
+// runAblation measures the design choices DESIGN.md calls out:
+//
+//  1. fractional cascading on/off (Figure 2 vs Figure 3),
+//  2. 2-way vs 3-way quicksort partitioning on a prevIdcs-shaped input
+//     (§5.3's robustness fix),
+//  3. 32-bit vs 64-bit tree payloads (§5.1),
+//  4. task-parallel vs single-task incremental evaluation (§3.2's state
+//     rebuild penalty, visible even on one core).
+func runAblation() {
+	n := 500_000
+	if *quick {
+		n = 100_000
+	}
+
+	// 1. Fractional cascading.
+	fmt.Println("  -- fractional cascading (windowed rank, single-threaded) --")
+	var rows [][]string
+	for _, noCascade := range []bool{false, true} {
+		d := fig13Workload(n, mst.Options{NoCascading: noCascade})
+		name := "cascading (O(log n) probe)"
+		if noCascade {
+			name = "no cascading (O(log^2 n) probe)"
+		}
+		rows = append(rows, []string{name, d.Round(time.Millisecond).String()})
+	}
+	printTable([]string{"variant", "build+probe"}, rows)
+
+	// 2. Quicksort partitioning on duplicate-heavy input: the prevIdcs of a
+	// distinct count over a mostly-unique column is almost all zeros.
+	fmt.Println("  -- introsort partitioning on prevIdcs-shaped input (§5.3) --")
+	shaped := make([]int64, n)
+	for i := 100; i < n; i += 400 {
+		shaped[i] = int64(i)
+	}
+	rows = nil
+	for _, p := range []sortutil.Partitioning{sortutil.ThreeWay, sortutil.TwoWay} {
+		name := map[sortutil.Partitioning]string{
+			sortutil.ThreeWay: "3-way partitioning",
+			sortutil.TwoWay:   "2-way partitioning (heapsort fallback rescues it)",
+		}[p]
+		buf := make([]int64, n)
+		d := timeIt(func() {
+			copy(buf, shaped)
+			sortutil.IntroSort(buf, p)
+		})
+		rows = append(rows, []string{name, d.Round(time.Millisecond).String()})
+	}
+	printTable([]string{"variant", "sort time"}, rows)
+
+	// 3. 32-bit vs 64-bit payloads.
+	fmt.Println("  -- 32-bit vs 64-bit tree payloads (§5.1) --")
+	rng := rand.New(rand.NewSource(*seed))
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(int64(n))
+	}
+	rows = nil
+	for _, force64 := range []bool{false, true} {
+		opt := mst.Options{Force64: force64}
+		tree, err := mst.Build(keys, opt)
+		die(err)
+		s := tree.Stats()
+		d := fig13Workload(n, opt)
+		name := "32-bit payloads"
+		if force64 {
+			name = "64-bit payloads"
+		}
+		rows = append(rows, []string{name, fmt.Sprintf("%d", s.Bytes), d.Round(time.Millisecond).String()})
+	}
+	printTable([]string{"variant", "tree bytes", "build+probe"}, rows)
+
+	// 4. Task-based parallelism penalty of the incremental competitor: with
+	// 20 000-row tasks every task rebuilds its frame state; with a single
+	// task it does not. The difference is pure rebuild overhead (§3.2) and
+	// shows even on one core.
+	fmt.Println("  -- incremental distinct count: single task vs 20000-row tasks (§3.2) --")
+	in := n
+	frame := 20_000
+	table := lineitem(in).Table()
+	w := shipdateWindow(slidingRows(frame))
+	rows = nil
+	for _, taskSize := range []int{in, 20_000} {
+		opt := holistic.Options{TaskSize: taskSize}
+		d := timeIt(func() {
+			_, err := holistic.RunOptions(table, w, opt, distinctOf(holistic.EngineIncremental))
+			die(err)
+		})
+		name := fmt.Sprintf("task size %d", taskSize)
+		if taskSize == in {
+			name = "single task (pure serial algorithm)"
+		}
+		rows = append(rows, []string{name, d.Round(time.Millisecond).String(), throughput(in, d) + "/s"})
+	}
+	printTable([]string{"variant", "time", "throughput"}, rows)
+	fmt.Printf("  (n = %d, frame = %d: each of the %d tasks re-aggregates up to a full frame before producing output)\n", in, frame, (in+19999)/20000)
+}

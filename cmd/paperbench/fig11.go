@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+
+	"holistic"
+)
+
+// runFig11 reproduces Figure 11: throughput of a framed median for
+// increasing frame sizes on a fixed input. The paper's crossover points on
+// TPC-H SF 1: naive loses to the merge sort tree at a frame of ~130 rows,
+// incremental at ~700, the order statistic tree at ~20 000 (the task size);
+// the merge sort tree is flat throughout and still handles the 6M-row
+// default frame at full speed.
+func runFig11() {
+	n := 200_000
+	if *quick {
+		n = 50_000
+	}
+	if *full {
+		n = 1_000_000
+	}
+	table := lineitem(n).Table()
+	frames := []int{10, 30, 100, 300, 1_000, 3_000, 10_000, 30_000, 100_000}
+	if *quick {
+		frames = []int{10, 100, 1_000, 10_000}
+	}
+	engines := []holistic.Engine{
+		holistic.EngineMergeSortTree, holistic.EngineOSTree,
+		holistic.EngineIncremental, holistic.EngineNaive,
+	}
+	header := []string{"frame size"}
+	for _, e := range engines {
+		header = append(header, engineName(e))
+	}
+	var rows [][]string
+	for _, frame := range frames {
+		if frame > n {
+			continue
+		}
+		w := shipdateWindow(slidingRows(frame))
+		row := []string{fmt.Sprintf("%d", frame)}
+		for _, e := range engines {
+			if estimatedOps(e, n, frame, true) > quadraticBudget {
+				row = append(row, "skip")
+				continue
+			}
+			d := runWindowed(table, w, medianOf(e))
+			row = append(row, throughput(n, d)+"/s")
+		}
+		rows = append(rows, row)
+	}
+	// The whole-input default frame, which only the MST handles sensibly.
+	w := shipdateWindow(holistic.Rows(holistic.UnboundedPreceding(), holistic.CurrentRow()))
+	d := runWindowed(table, w, medianOf(holistic.EngineMergeSortTree))
+	rows = append(rows, []string{"unbounded", throughput(n, d) + "/s", "skip", "skip", "skip"})
+	printTable(header, rows)
+	fmt.Printf("  (n = %d; paper crossovers on SF1: naive ~130, incremental ~700, order statistic tree ~20000)\n", n)
+}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"time"
+
+	"holistic"
+)
+
+// runFig9 reproduces Figure 9: a framed median over 20 000 lineitem rows,
+// comparing the traditional SQL formulations (which all compile to O(n²)
+// nested-loop plans), a simulated client-side evaluation (Tableau's
+// strategy), and the native algorithms enabled by the paper's SQL
+// extensions. The paper reports the naive native algorithm 15× faster than
+// the client-side implementation and the merge sort tree 63× faster than
+// the best SQL formulation.
+func runFig9() {
+	n := 20_000
+	if *quick {
+		n = 5_000
+	}
+	const frameSize = 1000
+	l := lineitem(n)
+	table := l.Table()
+
+	// Prices in window (l_shipdate) order, for the plan simulations.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if l.ShipDate[order[a]] != l.ShipDate[order[b]] {
+			return l.ShipDate[order[a]] < l.ShipDate[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	prices := make([]float64, n)
+	for i, o := range order {
+		prices[i] = l.ExtendedPrice[o]
+	}
+
+	type row struct {
+		name string
+		d    time.Duration
+	}
+	var rows []row
+	measure := func(name string, fn func()) {
+		rows = append(rows, row{name, timeIt(fn)})
+	}
+
+	measure("SQL self-join (simulated plan)", func() { sqlSelfJoinMedian(prices, frameSize) })
+	measure("SQL correlated subquery (simulated plan)", func() { sqlCorrelatedMedian(prices, frameSize) })
+	measure("client-side evaluation (simulated)", func() { clientSideMedian(prices, frameSize) })
+
+	w := shipdateWindow(slidingRows(frameSize))
+	for _, e := range []holistic.Engine{holistic.EngineNaive, holistic.EngineIncremental, holistic.EngineOSTree, holistic.EngineMergeSortTree} {
+		e := e
+		measure("native "+engineName(e), func() {
+			_, err := holistic.Run(table, w, medianOf(e))
+			die(err)
+		})
+	}
+
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.name, throughput(n, r.d) + "/s", fmt.Sprintf("%8.1fx", rows[0].d.Seconds()/r.d.Seconds())}
+	}
+	printTable([]string{"strategy", "throughput", "speedup vs self-join"}, out)
+	fmt.Printf("  (n = %d rows, frame = %d rows; paper: MST 63x over the best SQL formulation.\n", n, frameSize)
+	fmt.Println("   The client-side row is a LEAN simulation — a boxed sorted buffer plus an")
+	fmt.Println("   interpreted comparator — and therefore an upper bound on real client-side")
+	fmt.Println("   engines; the paper's 15x naive-over-Tableau gap reflects Tableau's much")
+	fmt.Println("   heavier interpreter and does not reproduce against this bound.)")
+}
+
+// sqlSelfJoinMedian simulates the nested-loop join plan every tested system
+// produces for the self-join formulation: for each outer row, scan the
+// whole inner relation testing the BETWEEN predicate, materialize the
+// group, then aggregate it.
+func sqlSelfJoinMedian(prices []float64, w int) []float64 {
+	n := len(prices)
+	out := make([]float64, n)
+	group := make([]float64, 0, w)
+	for i := 0; i < n; i++ {
+		group = group[:0]
+		for j := 0; j < n; j++ { // the O(n) inner scan of the nested loop
+			if j >= i-w+1 && j <= i {
+				group = append(group, prices[j])
+			}
+		}
+		out[i] = discMedian(group)
+	}
+	return out
+}
+
+// sqlCorrelatedMedian simulates the correlated-subquery plan: one full scan
+// per outer row, aggregating qualifying tuples on the fly (no group
+// materialization, but the same quadratic scan).
+func sqlCorrelatedMedian(prices []float64, w int) []float64 {
+	n := len(prices)
+	out := make([]float64, n)
+	var buf []float64
+	for i := 0; i < n; i++ {
+		buf = buf[:0]
+		for j := 0; j < n; j++ {
+			if j >= i-w+1 && j <= i {
+				buf = append(buf, prices[j])
+			}
+		}
+		out[i] = discMedian(buf)
+	}
+	return out
+}
+
+// clientSideMedian simulates a client-side table-calculation interpreter
+// (the WINDOW_PERCENTILE strategy): single threaded, values boxed through
+// interface{}, every comparison evaluated through a small expression tree
+// with environment lookups — the dominant cost of interpreted table
+// calculations — over a sorted buffer updated per step.
+func clientSideMedian(prices []float64, w int) []any {
+	n := len(prices)
+	out := make([]any, n)
+	var buf []any
+	// The interpreted predicate `[lhs] < [rhs]`.
+	cmpExpr := &binaryExpr{op: "<", lhs: &fieldRef{"lhs"}, rhs: &fieldRef{"rhs"}}
+	env := map[string]any{}
+	less := func(a, b any) bool {
+		env["lhs"], env["rhs"] = a, b
+		return cmpExpr.eval(env).(bool)
+	}
+	for i := 0; i < n; i++ {
+		v := any(prices[i])
+		pos := sort.Search(len(buf), func(k int) bool { return !less(buf[k], v) })
+		buf = append(buf, nil)
+		copy(buf[pos+1:], buf[pos:])
+		buf[pos] = v
+		if i >= w {
+			old := any(prices[i-w])
+			pos = sort.Search(len(buf), func(k int) bool { return !less(buf[k], old) })
+			buf = append(buf[:pos], buf[pos+1:]...)
+		}
+		k := (len(buf)+1)/2 - 1
+		out[i] = buf[k]
+	}
+	return out
+}
+
+// expr is the table-calculation interpreter's expression tree.
+type expr interface {
+	eval(env map[string]any) any
+}
+
+type fieldRef struct{ name string }
+
+func (f *fieldRef) eval(env map[string]any) any { return env[f.name] }
+
+type binaryExpr struct {
+	op       string
+	lhs, rhs expr
+}
+
+func (b *binaryExpr) eval(env map[string]any) any {
+	l := b.lhs.eval(env)
+	r := b.rhs.eval(env)
+	switch b.op {
+	case "<":
+		switch lv := l.(type) {
+		case float64:
+			return lv < r.(float64)
+		case int64:
+			return lv < r.(int64)
+		case string:
+			return lv < r.(string)
+		}
+	case "+":
+		switch lv := l.(type) {
+		case float64:
+			return lv + r.(float64)
+		case int64:
+			return lv + r.(int64)
+		}
+	}
+	panic("unsupported interpreted expression")
+}
+
+func discMedian(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := slices.Clone(vals)
+	slices.Sort(s)
+	return s[(len(s)+1)/2-1]
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"holistic"
+)
+
+func TestPlanSimulationsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	prices := make([]float64, 400)
+	for i := range prices {
+		prices[i] = float64(rng.Intn(1000))
+	}
+	const w = 37
+	selfJoin := sqlSelfJoinMedian(prices, w)
+	correlated := sqlCorrelatedMedian(prices, w)
+	client := clientSideMedian(prices, w)
+	for i := range prices {
+		if selfJoin[i] != correlated[i] {
+			t.Fatalf("row %d: self-join %v != correlated %v", i, selfJoin[i], correlated[i])
+		}
+		if client[i].(float64) != selfJoin[i] {
+			t.Fatalf("row %d: client %v != self-join %v", i, client[i], selfJoin[i])
+		}
+		// Reference median of the frame.
+		lo := i - w + 1
+		if lo < 0 {
+			lo = 0
+		}
+		want := discMedian(prices[lo : i+1])
+		if selfJoin[i] != want {
+			t.Fatalf("row %d: median %v, want %v", i, selfJoin[i], want)
+		}
+	}
+}
+
+func TestDiscMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{5}, 5},
+		{[]float64{1, 2}, 1},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 3, 2, 1}, 2},
+		{nil, 0},
+	}
+	for _, c := range cases {
+		if got := discMedian(c.in); got != c.want {
+			t.Fatalf("discMedian(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestInterpretedExpr(t *testing.T) {
+	lt := &binaryExpr{op: "<", lhs: &fieldRef{"a"}, rhs: &fieldRef{"b"}}
+	env := map[string]any{"a": 1.0, "b": 2.0}
+	if lt.eval(env) != true {
+		t.Fatal("1 < 2 must hold")
+	}
+	env["a"], env["b"] = int64(5), int64(3)
+	if lt.eval(env) != false {
+		t.Fatal("5 < 3 must not hold")
+	}
+	add := &binaryExpr{op: "+", lhs: &fieldRef{"a"}, rhs: &fieldRef{"b"}}
+	if add.eval(env) != int64(8) {
+		t.Fatal("5 + 3 must be 8")
+	}
+}
+
+func TestEstimatedOps(t *testing.T) {
+	// The naive engine must always look more expensive than the MST, and
+	// incremental selects (linear step) more expensive than incremental
+	// counts.
+	n, frame := 400_000, 20_000
+	if estimatedOps(holistic.EngineNaive, n, frame, false) <= estimatedOps(holistic.EngineMergeSortTree, n, frame, false) {
+		t.Fatal("naive must estimate above MST")
+	}
+	if estimatedOps(holistic.EngineIncremental, n, frame, true) <= estimatedOps(holistic.EngineIncremental, n, frame, false) {
+		t.Fatal("linear-step incremental must estimate above constant-step")
+	}
+}
+
+func TestThroughputFormatting(t *testing.T) {
+	if got := throughput(2_000_000, 1e9); got != "  2.00M" {
+		t.Fatalf("2M/s = %q", got)
+	}
+	if got := throughput(2_000, 1e9); got != "  2.00k" {
+		t.Fatalf("2k/s = %q", got)
+	}
+	if got := throughput(100, 0); got != "-" {
+		t.Fatalf("zero duration = %q", got)
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"holistic"
+	"holistic/internal/parallel"
+)
+
+// runTable1 validates Table 1 empirically: for every (aggregate, algorithm)
+// pair it measures single-threaded runtime at two input sizes (frame fixed
+// at 5 % of the smaller input) and reports the observed growth factor when
+// the input doubles. O(n log n) algorithms land near 2, O(n·w) algorithms
+// with the frame growing proportionally land near 4.
+func runTable1() {
+	n0 := 40_000
+	if *quick {
+		n0 = 16_000
+	}
+	if *full {
+		n0 = 120_000
+	}
+	n1 := 2 * n0
+
+	type entry struct {
+		agg     string
+		build   func(holistic.Engine) *holistic.Func
+		engine  holistic.Engine
+		theory  string
+		growing bool // frame grows with n (5 %), the Table 1 scenario
+	}
+	entries := []entry{
+		{"dist. count", distinctOf, holistic.EngineIncremental, "O(n) serial", true},
+		{"dist. count", distinctOf, holistic.EngineMergeSortTree, "O(n log n)", true},
+		{"percentile", medianOf, holistic.EngineIncremental, "O(n^2)", true},
+		{"percentile", medianOf, holistic.EngineNaive, "O(n^2)", true},
+		{"percentile", medianOf, holistic.EngineSegmentTree, "O(n log^2 n)", true},
+		{"percentile", medianOf, holistic.EngineOSTree, "O(n log n)", true},
+		{"percentile", medianOf, holistic.EngineMergeSortTree, "O(n log n)", true},
+		{"rank", rankOf, holistic.EngineOSTree, "O(n log n)", true},
+		{"rank", rankOf, holistic.EngineMergeSortTree, "O(n log n)", true},
+	}
+
+	prev := parallel.SetMaxWorkers(1)
+	defer parallel.SetMaxWorkers(prev)
+
+	measure := func(e entry, n int) time.Duration {
+		frame := n / 20
+		table := lineitem(n).Table()
+		w := shipdateWindow(slidingRows(frame))
+		// Whole input as one task: isolates the serial algorithm from the
+		// task-rebuild effect, which Table 1's serial column excludes.
+		opt := holistic.Options{TaskSize: n}
+		return timeIt(func() {
+			_, err := holistic.RunOptions(table, w, opt, e.build(e.engine))
+			die(err)
+		})
+	}
+
+	header := []string{"aggregate", "algorithm", "theory (serial)", fmt.Sprintf("t(n=%d)", n0), fmt.Sprintf("t(n=%d)", n1), "growth", "log2(growth)"}
+	var rows [][]string
+	for _, e := range entries {
+		d0 := measure(e, n0)
+		d1 := measure(e, n1)
+		g := d1.Seconds() / d0.Seconds()
+		rows = append(rows, []string{
+			e.agg, engineName(e.engine), e.theory,
+			d0.Round(time.Millisecond).String(), d1.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx", g), fmt.Sprintf("%.2f", math.Log2(g)),
+		})
+	}
+	printTable(header, rows)
+	fmt.Println("  (frame = 5% of n, single worker, one task; growth ~2 = (near-)linear/linearithmic, ~4 = quadratic)")
+}

@@ -1,0 +1,102 @@
+// Command tpchgen writes synthetic TPC-H-shaped tables as CSV, for use with
+// windowcli or external tools.
+//
+// Usage:
+//
+//	tpchgen -table lineitem -rows 100000 -o lineitem.csv
+//	tpchgen -table orders -sf 0.01 -o orders.csv
+//
+// Tables: lineitem, orders, tpcc_results, stock_orders.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"holistic/internal/tpch"
+)
+
+var (
+	table = flag.String("table", "lineitem", "table to generate (lineitem, orders, tpcc_results, stock_orders)")
+	rows  = flag.Int("rows", 0, "row count (overrides -sf)")
+	sf    = flag.Float64("sf", 0.01, "TPC-H scale factor (lineitem ~6M rows per unit)")
+	out   = flag.String("o", "-", "output file (default stdout)")
+	seed  = flag.Int64("seed", 42, "generator seed")
+)
+
+func main() {
+	flag.Parse()
+	n := *rows
+	if n == 0 {
+		n = int(*sf * tpch.LineitemRowsPerSF)
+	}
+	if n <= 0 {
+		fmt.Fprintln(os.Stderr, "tpchgen: row count must be positive")
+		os.Exit(2)
+	}
+
+	var w *bufio.Writer
+	if *out == "-" {
+		w = bufio.NewWriter(os.Stdout)
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tpchgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+	if err := writeTable(w, *table, n, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "tpchgen:", err)
+		os.Exit(2)
+	}
+}
+
+// writeTable renders one synthetic table as CSV.
+func writeTable(w io.Writer, table string, n int, seed int64) error {
+	day := func(d int64) string {
+		return time.Unix(0, 0).UTC().AddDate(0, 0, int(d)).Format("2006-01-02")
+	}
+	switch table {
+	case "lineitem":
+		l := tpch.GenerateLineitem(n, seed)
+		fmt.Fprintln(w, "l_orderkey,l_partkey,l_suppkey,l_quantity,l_extendedprice,l_shipdate,l_commitdate,l_receiptdate")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(w, "%d,%d,%d,%d,%s,%s,%s,%s\n",
+				l.OrderKey[i], l.PartKey[i], l.SuppKey[i], l.Quantity[i],
+				strconv.FormatFloat(l.ExtendedPrice[i], 'f', 2, 64),
+				day(l.ShipDate[i]), day(l.CommitDate[i]), day(l.ReceiptDate[i]))
+		}
+	case "orders":
+		o := tpch.GenerateOrders(n, seed)
+		fmt.Fprintln(w, "o_orderkey,o_custkey,o_orderdate,o_totalprice")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(w, "%d,%d,%s,%s\n", o.OrderKey[i], o.CustKey[i],
+				day(o.OrderDate[i]), strconv.FormatFloat(o.TotalPrice[i], 'f', 2, 64))
+		}
+	case "tpcc_results":
+		r := tpch.GenerateTPCCResults(n, seed)
+		fmt.Fprintln(w, "dbsystem,tps,submission_date")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(w, "%s,%s,%s\n", r.System[i],
+				strconv.FormatFloat(r.TPS[i], 'f', 1, 64), day(r.SubmissionDate[i]))
+		}
+	case "stock_orders":
+		s := tpch.GenerateStockOrders(n, seed)
+		fmt.Fprintln(w, "placement_time,good_for,price")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(w, "%d,%d,%s\n", s.PlacementTime[i], s.GoodFor[i],
+				strconv.FormatFloat(s.Price[i], 'f', 4, 64))
+		}
+	default:
+		return fmt.Errorf("unknown table %q", table)
+	}
+	return nil
+}

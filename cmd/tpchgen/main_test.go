@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"holistic/internal/csvio"
+)
+
+func TestWriteTableAllTables(t *testing.T) {
+	headers := map[string]string{
+		"lineitem":     "l_orderkey,l_partkey,l_suppkey,l_quantity,l_extendedprice,l_shipdate,l_commitdate,l_receiptdate",
+		"orders":       "o_orderkey,o_custkey,o_orderdate,o_totalprice",
+		"tpcc_results": "dbsystem,tps,submission_date",
+		"stock_orders": "placement_time,good_for,price",
+	}
+	for table, header := range headers {
+		var buf bytes.Buffer
+		if err := writeTable(&buf, table, 50, 1); err != nil {
+			t.Fatalf("%s: %v", table, err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if lines[0] != header {
+			t.Fatalf("%s header = %q", table, lines[0])
+		}
+		if len(lines) != 51 {
+			t.Fatalf("%s: %d lines, want 51", table, len(lines))
+		}
+		// Output must load back through the CSV reader.
+		f, err := csvio.Read(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("%s: csv read-back: %v", table, err)
+		}
+		if f.Table.Rows() != 50 {
+			t.Fatalf("%s: read back %d rows", table, f.Table.Rows())
+		}
+	}
+}
+
+func TestWriteTableUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeTable(&buf, "nope", 10, 1); err == nil {
+		t.Fatal("unknown table must fail")
+	}
+}
+
+func TestLineitemDatesParse(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeTable(&buf, "lineitem", 20, 7); err != nil {
+		t.Fatal(err)
+	}
+	f, err := csvio.Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.DateColumns["l_shipdate"] || !f.DateColumns["l_receiptdate"] {
+		t.Fatalf("date columns not detected: %v", f.DateColumns)
+	}
+	ship := f.Table.Column("l_shipdate")
+	receipt := f.Table.Column("l_receiptdate")
+	for i := 0; i < 20; i++ {
+		gap := receipt.Int64(i) - ship.Int64(i)
+		if gap < 1 || gap > 30 {
+			t.Fatalf("row %d: receipt-ship gap %d after CSV round trip", i, gap)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Command windowcli evaluates framed holistic window functions over a CSV
+// file — the SQL the paper proposes, without a database. Either via flags:
+//
+//	windowcli -i lineitem.csv -order-by l_shipdate \
+//	    -mode rows -preceding 999 \
+//	    -func percentile_disc -p 0.5 -value l_extendedprice -as median
+//
+// or as a full SQL statement in the paper's dialect (the FROM clause must
+// name the table "csv"):
+//
+//	windowcli -i lineitem.csv -query "
+//	    select l_shipdate, percentile_disc(0.5 order by l_extendedprice)
+//	           over (order by l_shipdate rows between 999 preceding and current row) as median
+//	    from csv"
+//
+// Column types are inferred (int, float, ISO dates as days-since-epoch,
+// string; empty cells are NULL); date columns render back as dates.
+// Results are written as CSV to stdout or -o.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"holistic"
+	"holistic/internal/csvio"
+)
+
+var (
+	input     = flag.String("i", "-", "input CSV file (default stdin)")
+	output    = flag.String("o", "-", "output CSV file (default stdout)")
+	partition = flag.String("partition-by", "", "comma-separated partition columns")
+	orderBy   = flag.String("order-by", "", "window ORDER BY column (prefix with '-' for descending)")
+	mode      = flag.String("mode", "rows", "frame mode: rows, range, groups")
+	preceding = flag.String("preceding", "unbounded", "frame start offset (number, 'unbounded', or 'current')")
+	following = flag.String("following", "current", "frame end offset (number, 'unbounded', or 'current')")
+	exclude   = flag.String("exclude", "", "frame exclusion: '', current, group, ties")
+	funcName  = flag.String("func", "", "window function: count_distinct, sum_distinct, avg_distinct, rank, dense_rank, percent_rank, row_number, cume_dist, ntile, percentile_disc, percentile_cont, median, nth_value, first_value, last_value, lead, lag, sum, avg, min, max, count")
+	value     = flag.String("value", "", "argument / function ORDER BY column (prefix with '-' for descending)")
+	fraction  = flag.Float64("p", 0.5, "percentile fraction")
+	nArg      = flag.Int64("n", 1, "n for ntile / nth_value / lead / lag offsets")
+	asName    = flag.String("as", "result", "output column name")
+	engine    = flag.String("engine", "mst", "engine: mst, incremental, naive, ostree, segtree")
+	query     = flag.String("query", "", "full SQL statement (paper dialect); overrides the per-function flags; FROM must name 'csv'")
+	explain   = flag.Bool("explain", false, "with -query: print the evaluation plan instead of running")
+)
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "windowcli:", err)
+		os.Exit(1)
+	}
+}
+
+func main() {
+	flag.Parse()
+	if *funcName == "" && *query == "" {
+		fail(fmt.Errorf("missing -func or -query"))
+	}
+	if *explain {
+		if *query == "" {
+			fail(fmt.Errorf("-explain requires -query"))
+		}
+		plan, err := holistic.ExplainSQL(*query)
+		fail(err)
+		fmt.Print(plan)
+		return
+	}
+	var in io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		fail(err)
+		defer f.Close()
+		in = f
+	}
+	file, err := csvio.Read(in)
+	fail(err)
+	table := file.Table
+
+	var result *holistic.Table
+	if *query != "" {
+		result, err = holistic.RunSQL(*query, map[string]*holistic.Table{"csv": table})
+		fail(err)
+	} else {
+		result, err = runFlags(table)
+		fail(err)
+	}
+
+	var out io.Writer = os.Stdout
+	if *output != "-" {
+		f, err := os.Create(*output)
+		fail(err)
+		defer f.Close()
+		out = f
+	}
+	fail(csvio.Write(out, result, file.DateColumns))
+}
+
+// runFlags evaluates the single function described by the flags and returns
+// the input columns plus the result column.
+func runFlags(table *holistic.Table) (*holistic.Table, error) {
+	w := holistic.Over()
+	if *partition != "" {
+		w.PartitionBy(strings.Split(*partition, ",")...)
+	}
+	if *orderBy != "" {
+		w.OrderBy(parseSortKey(*orderBy))
+	}
+	fr, err := parseFrame()
+	if err != nil {
+		return nil, err
+	}
+	w.Frame(fr)
+
+	fn, err := buildFunc()
+	if err != nil {
+		return nil, err
+	}
+	fn = fn.As(*asName).WithEngine(parseEngine(*engine))
+
+	res, err := holistic.Run(table, w, fn)
+	if err != nil {
+		return nil, err
+	}
+	cols := append(append([]*holistic.Column{}, table.Columns()...), res.Column(*asName))
+	return holistic.NewTable(cols...)
+}
+
+func parseSortKey(s string) holistic.SortKey {
+	if strings.HasPrefix(s, "-") {
+		return holistic.Desc(s[1:])
+	}
+	return holistic.Asc(s)
+}
+
+func parseEngine(s string) holistic.Engine {
+	switch s {
+	case "incremental":
+		return holistic.EngineIncremental
+	case "naive":
+		return holistic.EngineNaive
+	case "ostree":
+		return holistic.EngineOSTree
+	case "segtree":
+		return holistic.EngineSegmentTree
+	default:
+		return holistic.EngineMergeSortTree
+	}
+}
+
+func parseBound(s string, preceding bool) (holistic.Bound, error) {
+	switch s {
+	case "unbounded":
+		if preceding {
+			return holistic.UnboundedPreceding(), nil
+		}
+		return holistic.UnboundedFollowing(), nil
+	case "current":
+		return holistic.CurrentRow(), nil
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return holistic.Bound{}, fmt.Errorf("bad frame offset %q", s)
+	}
+	if preceding {
+		return holistic.Preceding(n), nil
+	}
+	return holistic.Following(n), nil
+}
+
+func parseFrame() (holistic.Frame, error) {
+	start, err := parseBound(*preceding, true)
+	if err != nil {
+		return holistic.Frame{}, err
+	}
+	end, err := parseBound(*following, false)
+	if err != nil {
+		return holistic.Frame{}, err
+	}
+	var fr holistic.Frame
+	switch *mode {
+	case "rows":
+		fr = holistic.Rows(start, end)
+	case "range":
+		fr = holistic.Range(start, end)
+	case "groups":
+		fr = holistic.Groups(start, end)
+	default:
+		return fr, fmt.Errorf("bad frame mode %q", *mode)
+	}
+	switch *exclude {
+	case "":
+	case "current":
+		fr = fr.ExcludeCurrentRow()
+	case "group":
+		fr = fr.ExcludeGroup()
+	case "ties":
+		fr = fr.ExcludeTies()
+	default:
+		return fr, fmt.Errorf("bad exclusion %q", *exclude)
+	}
+	return fr, nil
+}
+
+func buildFunc() (*holistic.Func, error) {
+	needsValue := func() (string, holistic.SortKey, error) {
+		if *value == "" {
+			return "", holistic.SortKey{}, fmt.Errorf("-func %s requires -value", *funcName)
+		}
+		return strings.TrimPrefix(*value, "-"), parseSortKey(*value), nil
+	}
+	switch *funcName {
+	case "count_star":
+		return holistic.CountStar(), nil
+	case "count", "sum", "avg", "min", "max", "count_distinct", "sum_distinct", "avg_distinct":
+		col, _, err := needsValue()
+		if err != nil {
+			return nil, err
+		}
+		switch *funcName {
+		case "count":
+			return holistic.Count(col), nil
+		case "sum":
+			return holistic.Sum(col), nil
+		case "avg":
+			return holistic.Avg(col), nil
+		case "min":
+			return holistic.Min(col), nil
+		case "max":
+			return holistic.Max(col), nil
+		case "count_distinct":
+			return holistic.CountDistinct(col), nil
+		case "sum_distinct":
+			return holistic.SumDistinct(col), nil
+		default:
+			return holistic.AvgDistinct(col), nil
+		}
+	case "rank", "dense_rank", "percent_rank", "row_number", "cume_dist", "ntile",
+		"percentile_disc", "percentile_cont", "median", "first_value", "last_value", "nth_value", "lead", "lag":
+		col, key, err := needsValue()
+		if err != nil {
+			return nil, err
+		}
+		switch *funcName {
+		case "rank":
+			return holistic.Rank(key), nil
+		case "dense_rank":
+			return holistic.DenseRank(key), nil
+		case "percent_rank":
+			return holistic.PercentRank(key), nil
+		case "row_number":
+			return holistic.RowNumber(key), nil
+		case "cume_dist":
+			return holistic.CumeDist(key), nil
+		case "ntile":
+			return holistic.Ntile(*nArg, key), nil
+		case "percentile_disc":
+			return holistic.PercentileDisc(*fraction, key), nil
+		case "percentile_cont":
+			return holistic.PercentileCont(*fraction, key), nil
+		case "median":
+			return holistic.Median(key), nil
+		case "first_value":
+			return holistic.FirstValue(col, key), nil
+		case "last_value":
+			return holistic.LastValue(col, key), nil
+		case "nth_value":
+			return holistic.NthValue(col, *nArg, key), nil
+		case "lead":
+			return holistic.Lead(col, *nArg, key), nil
+		default:
+			return holistic.Lag(col, *nArg, key), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown function %q", *funcName)
+}

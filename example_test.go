@@ -1,0 +1,135 @@
+package holistic_test
+
+import (
+	"fmt"
+	"log"
+
+	"holistic"
+)
+
+// The paper's motivating monthly-active-users query (§1): a framed COUNT
+// DISTINCT, which SQL:2011 forbids.
+func Example() {
+	table := holistic.MustNewTable(
+		holistic.NewInt64Column("o_orderdate", []int64{0, 10, 25, 40, 45}, nil),
+		holistic.NewInt64Column("o_custkey", []int64{1, 2, 1, 2, 3}, nil),
+	)
+	res, err := holistic.Run(table,
+		holistic.Over().
+			OrderBy(holistic.Asc("o_orderdate")).
+			Frame(holistic.Range(holistic.Preceding(30), holistic.CurrentRow())),
+		holistic.CountDistinct("o_custkey").As("mau"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < table.Rows(); i++ {
+		fmt.Println(res.Column("mau").Int64(i))
+	}
+	// Output:
+	// 1
+	// 2
+	// 2
+	// 2
+	// 3
+}
+
+// A framed rank with its own ORDER BY, independent of the window order
+// (§2.4's proposed extension): rank each result against earlier entries
+// only.
+func ExampleRank() {
+	table := holistic.MustNewTable(
+		holistic.NewInt64Column("date", []int64{1, 2, 3, 4}, nil),
+		holistic.NewFloat64Column("score", []float64{10, 30, 20, 40}, nil),
+	)
+	res, err := holistic.Run(table,
+		holistic.Over().
+			OrderBy(holistic.Asc("date")).
+			Frame(holistic.Rows(holistic.UnboundedPreceding(), holistic.CurrentRow())),
+		holistic.Rank(holistic.Desc("score")).As("rank_so_far"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < table.Rows(); i++ {
+		fmt.Println(res.Column("rank_so_far").Int64(i))
+	}
+	// Output:
+	// 1
+	// 1
+	// 2
+	// 1
+}
+
+// Percentiles over sliding frames: the p99 of the last three rows.
+func ExamplePercentileDisc() {
+	table := holistic.MustNewTable(
+		holistic.NewInt64Column("t", []int64{1, 2, 3, 4, 5}, nil),
+		holistic.NewInt64Column("latency", []int64{10, 500, 20, 30, 40}, nil),
+	)
+	res, err := holistic.Run(table,
+		holistic.Over().
+			OrderBy(holistic.Asc("t")).
+			Frame(holistic.Rows(holistic.Preceding(2), holistic.CurrentRow())),
+		holistic.PercentileDisc(0.99, holistic.Asc("latency")).As("p99"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < table.Rows(); i++ {
+		fmt.Println(res.Column("p99").Int64(i))
+	}
+	// Output:
+	// 10
+	// 500
+	// 500
+	// 500
+	// 40
+}
+
+// The SQL front end accepts the paper's dialect directly.
+func ExampleRunSQL() {
+	table := holistic.MustNewTable(
+		holistic.NewInt64Column("d", []int64{1, 2, 3}, nil),
+		holistic.NewStringColumn("item", []string{"a", "b", "a"}, nil),
+	)
+	res, err := holistic.RunSQL(`
+		select count(distinct item) over (order by d) as seen
+		from t`,
+		map[string]*holistic.Table{"t": table})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < res.Rows(); i++ {
+		fmt.Println(res.Column("seen").Int64(i))
+	}
+	// Output:
+	// 1
+	// 2
+	// 2
+}
+
+// Frame exclusion composes with holistic aggregates: compare each row
+// against the distinct values of OTHER rows.
+func ExampleFrame_ExcludeCurrentRow() {
+	table := holistic.MustNewTable(
+		holistic.NewInt64Column("d", []int64{1, 2, 3}, nil),
+		holistic.NewInt64Column("v", []int64{7, 7, 9}, nil),
+	)
+	res, err := holistic.Run(table,
+		holistic.Over().
+			OrderBy(holistic.Asc("d")).
+			Frame(holistic.WholePartition().ExcludeCurrentRow()),
+		holistic.CountDistinct("v").As("others"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < table.Rows(); i++ {
+		fmt.Println(res.Column("others").Int64(i))
+	}
+	// Output:
+	// 2
+	// 2
+	// 1
+}

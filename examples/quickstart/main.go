@@ -1,0 +1,56 @@
+// Quickstart: framed holistic aggregates in a dozen lines.
+//
+// SQL:2011 forbids COUNT(DISTINCT ...) OVER (...) and RANK with a frame;
+// this library implements them with the merge sort tree algorithms of the
+// SIGMOD 2022 paper. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"holistic"
+)
+
+func main() {
+	// Daily sales: day, product sold, revenue.
+	day := []int64{1, 1, 2, 2, 3, 4, 4, 5, 6, 7, 7, 8}
+	product := []string{"ale", "bok", "ale", "cup", "bok", "ale", "dye", "cup", "ale", "bok", "dye", "ale"}
+	revenue := []float64{10, 25, 12, 8, 30, 11, 40, 9, 13, 27, 42, 12}
+
+	table := holistic.MustNewTable(
+		holistic.NewInt64Column("day", day, nil),
+		holistic.NewStringColumn("product", product, nil),
+		holistic.NewFloat64Column("revenue", revenue, nil),
+	)
+
+	// A 3-day sliding window ordered by day:
+	//   window w as (order by day range between 2 preceding and current row)
+	window := holistic.Over().
+		OrderBy(holistic.Asc("day")).
+		Frame(holistic.Range(holistic.Preceding(2), holistic.CurrentRow()))
+
+	res, err := holistic.Run(table, window,
+		// select count(distinct product) over w       -- illegal in SQL:2011!
+		holistic.CountDistinct("product").As("assortment"),
+		// select percentile_disc(0.5 order by revenue) over w
+		holistic.MedianDisc(holistic.Asc("revenue")).As("median_rev"),
+		// select rank(order by revenue desc) over w
+		holistic.Rank(holistic.Desc("revenue")).As("rev_rank"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("day product revenue | 3-day assortment  3-day median  rank-in-window")
+	for i := 0; i < table.Rows(); i++ {
+		fmt.Printf("%3d %-7s %7.0f | %17d %13.0f %15d\n",
+			day[i], product[i], revenue[i],
+			res.Column("assortment").Int64(i),
+			res.Column("median_rev").Float64(i),
+			res.Column("rev_rank").Int64(i),
+		)
+	}
+}

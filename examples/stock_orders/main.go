@@ -1,0 +1,70 @@
+// The paper's §2.2 non-constant frame bound example: stock market limit
+// orders that are valid for a per-order time interval. Was an order placed
+// at a favourable moment? Compare its price against the median of all
+// orders during its own good_for window:
+//
+//	select price > median(price) over (
+//	    order by placement_time
+//	    range between current row and good_for following)
+//	from stock_orders
+//
+// The per-row good_for bound makes the frames NON-MONOTONIC: a tuple can
+// enter and leave the frame many times, which degrades incremental
+// algorithms to O(n²) while the merge sort tree stays O(n log n) (§6.5).
+// Run with:
+//
+//	go run ./examples/stock_orders
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"holistic"
+	"holistic/internal/tpch"
+)
+
+func main() {
+	const rows = 100_000
+	s := tpch.GenerateStockOrders(rows, 11)
+	table := s.Table()
+	goodFor := s.GoodFor
+
+	frame := holistic.Range(
+		holistic.CurrentRow(),
+		// The frame end is an expression over the current row (§2.2).
+		holistic.FollowingBy(func(row int) int64 { return goodFor[row] }),
+	)
+	window := holistic.Over().OrderBy(holistic.Asc("placement_time")).Frame(frame)
+
+	start := time.Now()
+	res, err := holistic.Run(table, window,
+		holistic.MedianDisc(holistic.Asc("price")).As("median_while_valid"),
+		holistic.CountStar().As("contemporaries"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	favourable := 0
+	for i := 0; i < rows; i++ {
+		if s.Price[i] > res.Column("median_while_valid").Float64(i) {
+			favourable++
+		}
+	}
+	fmt.Printf("%d limit orders; %d (%.1f%%) priced above the median of their validity window\n",
+		rows, favourable, 100*float64(favourable)/rows)
+	fmt.Println("\nsample orders:")
+	fmt.Println("placed(s)  valid(s)  price    median-in-window  orders-in-window  above?")
+	for i := 0; i < rows; i += rows / 12 {
+		fmt.Printf("%8d  %8d  %7.2f  %16.2f  %16d  %v\n",
+			s.PlacementTime[i], goodFor[i], s.Price[i],
+			res.Column("median_while_valid").Float64(i),
+			res.Column("contemporaries").Int64(i),
+			s.Price[i] > res.Column("median_while_valid").Float64(i),
+		)
+	}
+	fmt.Printf("\nnon-monotonic framed median over %d rows: %v (merge sort tree)\n", rows, elapsed.Round(time.Millisecond))
+}

@@ -1,0 +1,673 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"holistic/internal/frame"
+	"holistic/internal/mst"
+	"holistic/internal/preprocess"
+	"holistic/internal/rangetree"
+)
+
+// filtered couples a partition with a function's inclusion mask (FILTER
+// clause, argument-NULL dropping, IGNORE NULLS). All evaluation happens in
+// the filtered domain; frame boundaries are remapped into it (§4.5, §4.7).
+type filtered struct {
+	p     *partition
+	remap *preprocess.Remap // nil = identity
+	k     int               // filtered length
+}
+
+func newFiltered(p *partition, f *FuncSpec, dropNullCol string) *filtered {
+	mask := p.includeMask(f, dropNullCol)
+	r := remapFor(mask)
+	return &filtered{p: p, remap: r, k: filteredLen(p, r)}
+}
+
+// keptOrder projects the all-rows function-order sort onto the filtered
+// domain: the kept rows in function order, as filtered-domain indices.
+func keptOrder(fl *filtered, sortedAll []int32) []int32 {
+	out := make([]int32, 0, fl.k)
+	for _, pos := range sortedAll {
+		if fl.kept(int(pos)) {
+			out = append(out, int32(fl.toFiltered(int(pos))))
+		}
+	}
+	return out
+}
+
+// local maps a filtered position to a partition-local position.
+func (fl *filtered) local(j int) int {
+	if fl.remap == nil {
+		return j
+	}
+	return fl.remap.ToOriginal(j)
+}
+
+// orig maps a filtered position to the original row index.
+func (fl *filtered) orig(j int) int { return fl.p.orig(fl.local(j)) }
+
+// kept reports whether partition-local position i survived the filter.
+func (fl *filtered) kept(i int) bool {
+	return fl.remap == nil || fl.remap.Kept(i)
+}
+
+// toFiltered maps a partition-local boundary into the filtered domain.
+func (fl *filtered) toFiltered(b int) int {
+	if fl.remap == nil {
+		return b
+	}
+	return fl.remap.ToFiltered(b)
+}
+
+// frameRanges fetches row's post-exclusion frame ranges remapped into the
+// filtered domain.
+func (fl *filtered) frameRanges(fc *frame.Computer, row int, scratch, out [][2]int) [][2]int {
+	raw := fc.Ranges(row, scratch[:0])
+	return mapRanges(fl.remap, raw, out[:0])
+}
+
+// evalMST dispatches a function to its merge-sort-tree evaluation.
+func evalMST(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, opt Options, prof *Profile) error {
+	switch f.Name {
+	case CountStar, Count:
+		return evalCounts(p, f, fc, out, opt)
+	case Sum, Avg, Min, Max:
+		return evalDistributive(p, f, fc, out, opt)
+	case CountDistinct, SumDistinct, AvgDistinct:
+		return evalDistinct(p, f, fc, out, opt, prof)
+	case Rank, PercentRank, RowNumber, CumeDist, Ntile:
+		return evalRankFamily(p, f, fc, out, opt)
+	case DenseRank:
+		return evalDenseRank(p, f, fc, out, opt)
+	case PercentileDisc, PercentileCont, NthValue, FirstValue, LastValue:
+		return evalSelectFamily(p, f, fc, out, opt)
+	case Lead, Lag:
+		return evalLeadLag(p, f, fc, out, opt)
+	}
+	return fmt.Errorf("unhandled function %v", f.Name)
+}
+
+// evalCounts evaluates COUNT(*) and COUNT(x): pure frame-size arithmetic in
+// the filtered domain — no index structure needed.
+func evalCounts(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, opt Options) error {
+	drop := ""
+	if f.Name == Count {
+		drop = f.Arg
+	}
+	fl := newFiltered(p, f, drop)
+	forEachRow(p, opt, func(lo, hi int) {
+		var scratch, mapped [3][2]int
+		for i := lo; i < hi; i++ {
+			total := 0
+			for _, r := range fl.frameRanges(fc, i, scratch[:], mapped[:]) {
+				total += r[1] - r[0]
+			}
+			out.setInt(p.orig(i), int64(total))
+		}
+	})
+	return nil
+}
+
+// buildDistinctInputs sorts the filtered rows by the argument column and
+// derives Algorithm 1's prevIdcs plus the forward links used by the
+// exclusion-hole correction. next[j] is the next occurrence of j's value in
+// the filtered domain, with fl.k as the "none" sentinel. The two stages
+// are profiled separately, matching Figure 14's phase split.
+func buildDistinctInputs(fl *filtered, f *FuncSpec, prof *Profile) (prev, next []int64) {
+	cmpArg := fl.p.argCompare(f)
+	eqArg := fl.p.argEqual(f)
+	// Sort primarily by value hashes so the hot comparisons are integer
+	// compares regardless of the argument type (§6.7); the real comparator
+	// only breaks hash ties, so collisions cost time, never correctness.
+	col := fl.p.t.Column(f.Arg)
+	var hashes []uint64
+	prof.timed("preprocess: populate hashes", func() {
+		hashes = make([]uint64, fl.k)
+		for j := range hashes {
+			hashes[j] = col.hashAt(fl.orig(j))
+		}
+	})
+	var sorted []int32
+	prof.timed("preprocess: sort hashes", func() {
+		sorted = preprocess.SortIndices(fl.k, func(a, b int) int {
+			ha, hb := hashes[a], hashes[b]
+			if ha != hb {
+				if ha < hb {
+					return -1
+				}
+				return 1
+			}
+			return cmpArg(fl.local(a), fl.local(b))
+		})
+	})
+	same := func(a, b int) bool { return eqArg(fl.local(a), fl.local(b)) }
+	prof.timed("preprocess: prevIdcs", func() {
+		prev = preprocess.PrevIndices(sorted, same)
+		next = make([]int64, fl.k)
+		for j := range next {
+			next[j] = int64(fl.k)
+		}
+		for i := 1; i < len(sorted); i++ {
+			if same(int(sorted[i-1]), int(sorted[i])) {
+				next[sorted[i-1]] = int64(sorted[i])
+			}
+		}
+	})
+	return prev, next
+}
+
+// forEachFullyExcluded visits, for the frame decomposition `ranges` (sorted,
+// disjoint, in the filtered domain), every position h that is the first
+// occurrence within the full span [a, d) of a value whose occurrences inside
+// [a, d) all fall into the exclusion holes. Those are exactly the values a
+// whole-span distinct query counts but the real (holey) frame must not.
+// The walk follows each value's occurrence chain and visits every hole
+// position at most a constant number of times, so the cost is linear in the
+// hole sizes (§4.7).
+func forEachFullyExcluded(prev, next []int64, ranges [][2]int, visit func(h int)) {
+	if len(ranges) < 2 {
+		return
+	}
+	a := ranges[0][0]
+	d := ranges[len(ranges)-1][1]
+	inKept := func(pos int) bool {
+		for _, r := range ranges {
+			if pos >= r[0] && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	for g := 0; g+1 < len(ranges); g++ {
+		holeLo, holeHi := ranges[g][1], ranges[g+1][0]
+		for h := holeLo; h < holeHi; h++ {
+			if prev[h] >= int64(a)+1 {
+				continue // not the first occurrence inside [a, d)
+			}
+			// Follow the chain: if it reaches a kept range before leaving
+			// [a, d), the value survives.
+			excluded := true
+			for cur := h; ; {
+				nx := int(next[cur])
+				if nx >= d {
+					break
+				}
+				if inKept(nx) {
+					excluded = false
+					break
+				}
+				cur = nx
+			}
+			if excluded {
+				visit(h)
+			}
+		}
+	}
+}
+
+// evalDistinct evaluates COUNT/SUM/AVG(DISTINCT x) with the annotated merge
+// sort tree of §4.2/§4.3.
+func evalDistinct(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, opt Options, prof *Profile) error {
+	fl := newFiltered(p, f, f.Arg)
+	prev, next := buildDistinctInputs(fl, f, prof)
+
+	switch f.Name {
+	case CountDistinct:
+		var tree *mst.Tree
+		var err error
+		prof.timed("build merge sort tree", func() {
+			tree, err = mst.Build(prev, opt.Tree)
+		})
+		if err != nil {
+			return err
+		}
+		var probe func()
+		probe = func() {
+			forEachRow(p, opt, func(lo, hi int) {
+				var scratch, mapped [3][2]int
+				for i := lo; i < hi; i++ {
+					ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
+					out.setInt(p.orig(i), int64(distinctCount(tree, prev, next, ranges)))
+				}
+			})
+		}
+		prof.timed("probe", probe)
+		return nil
+
+	case SumDistinct:
+		if out.kind == Int64 {
+			return runSumDistinct(p, f, fc, out, opt, fl, prev, next,
+				func(j int) int64 { return p.t.Column(f.Arg).Int64(fl.orig(j)) },
+				func(a, b int64) int64 { return a + b },
+				func(a, b int64) int64 { return a - b },
+				func(row int, v int64) { out.setInt(row, v) })
+		}
+		return runSumDistinct(p, f, fc, out, opt, fl, prev, next,
+			func(j int) float64 { return p.t.Column(f.Arg).Float64(fl.orig(j)) },
+			func(a, b float64) float64 { return a + b },
+			func(a, b float64) float64 { return a - b },
+			func(row int, v float64) { out.setFloat(row, v) })
+
+	case AvgDistinct:
+		col := p.t.Column(f.Arg)
+		return runSumDistinct(p, f, fc, out, opt, fl, prev, next,
+			func(j int) avgState { return avgState{sum: col.Numeric(fl.orig(j)), n: 1} },
+			func(a, b avgState) avgState { return avgState{a.sum + b.sum, a.n + b.n} },
+			func(a, b avgState) avgState { return avgState{a.sum - b.sum, a.n - b.n} },
+			func(row int, v avgState) { out.setFloat(row, v.sum/float64(v.n)) })
+	}
+	return fmt.Errorf("unhandled distinct function %v", f.Name)
+}
+
+type avgState struct {
+	sum float64
+	n   int64
+}
+
+// distinctCount counts distinct values over a (possibly holey) frame: a
+// single whole-span query plus the hole-chain correction.
+func distinctCount(tree *mst.Tree, prev, next []int64, ranges [][2]int) int {
+	if len(ranges) == 0 {
+		return 0
+	}
+	a := ranges[0][0]
+	d := ranges[len(ranges)-1][1]
+	cnt := tree.CountBelow(a, d, int64(a)+1)
+	forEachFullyExcluded(prev, next, ranges, func(int) { cnt-- })
+	return cnt
+}
+
+// runSumDistinct evaluates SUM/AVG(DISTINCT) generically over the aggregate
+// state type. Exclusion holes are corrected by subtracting the states of
+// fully excluded values — SUM and AVG are invertible, so this stays exact.
+// (The pure merge-only path of §4.3 covers continuous frames; frames with
+// exclusion holes additionally use the inverse.)
+func runSumDistinct[S any](p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder,
+	opt Options, fl *filtered, prev, next []int64,
+	valueOf func(j int) S, add func(a, b S) S, sub func(a, b S) S, emit func(row int, v S)) error {
+	values := make([]S, fl.k)
+	for j := range values {
+		values[j] = valueOf(j)
+	}
+	tree, err := mst.BuildAnnotated(prev, values, add, opt.Tree)
+	if err != nil {
+		return err
+	}
+	forEachRow(p, opt, func(lo, hi int) {
+		var scratch, mapped [3][2]int
+		for i := lo; i < hi; i++ {
+			ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
+			row := p.orig(i)
+			if len(ranges) == 0 {
+				out.setNull(row)
+				continue
+			}
+			a := ranges[0][0]
+			d := ranges[len(ranges)-1][1]
+			agg, ok := tree.AggBelow(a, d, int64(a)+1)
+			removed := 0
+			forEachFullyExcluded(prev, next, ranges, func(h int) {
+				agg = sub(agg, values[h])
+				removed++
+			})
+			total := 0
+			for _, r := range ranges {
+				total += r[1] - r[0]
+			}
+			if !ok || total == 0 || tree.CountBelow(a, d, int64(a)+1)-removed == 0 {
+				out.setNull(row)
+				continue
+			}
+			emit(row, agg)
+		}
+	})
+	return nil
+}
+
+// evalRankFamily evaluates RANK, PERCENT_RANK, ROW_NUMBER, CUME_DIST and
+// NTILE via counting queries on a merge sort tree over preprocessed rank
+// keys (§4.4, Figure 8).
+func evalRankFamily(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, opt Options) error {
+	fl := newFiltered(p, f, "")
+	eqFunc := p.funcEqual(f)
+	m := p.len()
+	sortedAll := p.sortedByFuncOrder(f)
+
+	// Thresholds must exist for every row (also filtered-out ones), so rank
+	// keys are computed over the whole partition; the tree only holds the
+	// kept rows.
+	unique := f.Name == RowNumber || f.Name == Ntile
+	var keysAll []int64
+	if unique {
+		// keptRowno: the number of kept rows sorted strictly before each
+		// row — unique among kept rows, and a valid insertion point for
+		// filtered-out rows.
+		keysAll = make([]int64, m)
+		keptBefore := int64(0)
+		for _, pos := range sortedAll {
+			keysAll[pos] = keptBefore
+			if fl.kept(int(pos)) {
+				keptBefore++
+			}
+		}
+	} else {
+		keysAll, _ = preprocess.DenseRanks(sortedAll, eqFunc)
+	}
+	keysKept := make([]int64, fl.k)
+	for j := range keysKept {
+		keysKept[j] = keysAll[fl.local(j)]
+	}
+	tree, err := mst.Build(keysKept, opt.Tree)
+	if err != nil {
+		return err
+	}
+
+	forEachRow(p, opt, func(lo, hi int) {
+		var scratch, mapped [3][2]int
+		for i := lo; i < hi; i++ {
+			ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
+			row := p.orig(i)
+			size := 0
+			for _, r := range ranges {
+				size += r[1] - r[0]
+			}
+			countBelow := func(threshold int64) int64 {
+				cnt := 0
+				for _, r := range ranges {
+					cnt += tree.CountBelow(r[0], r[1], threshold)
+				}
+				return int64(cnt)
+			}
+			switch f.Name {
+			case Rank:
+				out.setInt(row, countBelow(keysAll[i])+1)
+			case RowNumber:
+				out.setInt(row, countBelow(keysAll[i])+1)
+			case PercentRank:
+				if size <= 1 {
+					out.setFloat(row, 0)
+				} else {
+					out.setFloat(row, float64(countBelow(keysAll[i]))/float64(size-1))
+				}
+			case CumeDist:
+				if size == 0 {
+					out.setNull(row)
+				} else {
+					out.setFloat(row, float64(countBelow(keysAll[i]+1))/float64(size))
+				}
+			case Ntile:
+				inFrame := fl.kept(i)
+				if inFrame {
+					inFrame = false
+					fj := fl.toFiltered(i)
+					for _, r := range ranges {
+						if fj >= r[0] && fj < r[1] {
+							inFrame = true
+							break
+						}
+					}
+				}
+				if !inFrame || size == 0 {
+					out.setNull(row)
+					continue
+				}
+				r := countBelow(keysAll[i])
+				out.setInt(row, ntileBucket(r, int64(size), f.N))
+			}
+		}
+	})
+	return nil
+}
+
+// ntileBucket returns the 1-based NTILE bucket for the row at 0-based
+// position r of a frame with size rows split into b buckets: the first
+// size%b buckets get one extra row, per the SQL standard.
+func ntileBucket(r, size, b int64) int64 {
+	if b > size {
+		return r + 1
+	}
+	q, rem := size/b, size%b
+	bigSpan := rem * (q + 1)
+	if r < bigSpan {
+		return r/(q+1) + 1
+	}
+	return rem + (r-bigSpan)/q + 1
+}
+
+// evalDenseRank evaluates the framed DENSE_RANK with the range tree of §4.4.
+func evalDenseRank(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, opt Options) error {
+	fl := newFiltered(p, f, "")
+	eqFunc := p.funcEqual(f)
+	sortedAll := p.sortedByFuncOrder(f)
+	ranksAll, _ := preprocess.DenseRanks(sortedAll, eqFunc)
+
+	ranksKept := make([]int64, fl.k)
+	for j := range ranksKept {
+		ranksKept[j] = ranksAll[fl.local(j)]
+	}
+	sortedKept := preprocess.SortIndicesByKey(ranksKept)
+	sameKept := func(a, b int) bool { return ranksKept[a] == ranksKept[b] }
+	prevKept := preprocess.PrevIndices(sortedKept, sameKept)
+	nextKept := make([]int64, fl.k)
+	for j := range nextKept {
+		nextKept[j] = int64(fl.k)
+	}
+	for i := 1; i < len(sortedKept); i++ {
+		if sameKept(int(sortedKept[i-1]), int(sortedKept[i])) {
+			nextKept[sortedKept[i-1]] = int64(sortedKept[i])
+		}
+	}
+	rt, err := rangetree.New(ranksKept, prevKept, opt.Tree)
+	if err != nil {
+		return err
+	}
+
+	forEachRow(p, opt, func(lo, hi int) {
+		var scratch, mapped [3][2]int
+		for i := lo; i < hi; i++ {
+			ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
+			row := p.orig(i)
+			if len(ranges) == 0 {
+				out.setInt(row, 1)
+				continue
+			}
+			a := ranges[0][0]
+			d := ranges[len(ranges)-1][1]
+			cnt := rt.CountDistinctBelow(a, d, ranksAll[i], int64(a)+1)
+			forEachFullyExcluded(prevKept, nextKept, ranges, func(h int) {
+				if ranksKept[h] < ranksAll[i] {
+					cnt--
+				}
+			})
+			out.setInt(row, int64(cnt)+1)
+		}
+	})
+	return nil
+}
+
+// evalSelectFamily evaluates percentiles and value functions via the
+// permutation-array merge sort tree of §4.5 (Figures 6 and 7).
+func evalSelectFamily(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, opt Options) error {
+	var valueCol *Column
+	drop := ""
+	switch f.Name {
+	case PercentileDisc, PercentileCont:
+		valueCol = p.t.Column(percentileValueColumn(f))
+		drop = percentileValueColumn(f) // percentiles ignore NULLs (§4.5)
+	default:
+		valueCol = p.t.Column(f.Arg)
+		if f.IgnoreNulls {
+			drop = f.Arg
+		}
+	}
+	fl := newFiltered(p, f, drop)
+	sortedKept := keptOrder(fl, p.sortedByFuncOrder(f))
+	perm := preprocess.Permutation(sortedKept)
+	tree, err := mst.Build(perm, opt.Tree)
+	if err != nil {
+		return err
+	}
+
+	forEachRow(p, opt, func(lo, hi int) {
+		var scratch, mapped [3][2]int
+		var r64 [3][2]int64
+		for i := lo; i < hi; i++ {
+			ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
+			row := p.orig(i)
+			size := 0
+			for ri, r := range ranges {
+				size += r[1] - r[0]
+				r64[ri] = [2]int64{int64(r[0]), int64(r[1])}
+			}
+			if size == 0 {
+				out.setNull(row)
+				continue
+			}
+			vr := r64[:len(ranges)]
+			selectRow := func(k int) (int, bool) {
+				pos, ok := tree.SelectKthRanges(vr, k)
+				if !ok {
+					return 0, false
+				}
+				return fl.orig(int(tree.Value(pos))), true
+			}
+			switch f.Name {
+			case PercentileDisc:
+				k := percentileDiscIndex(f.Fraction, size)
+				if src, ok := selectRow(k); ok {
+					out.copyFrom(valueCol, src, row)
+				} else {
+					out.setNull(row)
+				}
+			case PercentileCont:
+				rn := f.Fraction * float64(size-1)
+				k0 := int(math.Floor(rn))
+				frac := rn - float64(k0)
+				src0, ok := selectRow(k0)
+				if !ok {
+					out.setNull(row)
+					continue
+				}
+				v := valueCol.Numeric(src0)
+				if frac > 0 {
+					if src1, ok1 := selectRow(k0 + 1); ok1 {
+						v += frac * (valueCol.Numeric(src1) - v)
+					}
+				}
+				out.setFloat(row, v)
+			case NthValue:
+				k := int(f.N) - 1
+				if src, ok := selectRow(k); ok {
+					out.copyFrom(valueCol, src, row)
+				} else {
+					out.setNull(row)
+				}
+			case FirstValue:
+				if src, ok := selectRow(0); ok {
+					out.copyFrom(valueCol, src, row)
+				} else {
+					out.setNull(row)
+				}
+			case LastValue:
+				if src, ok := selectRow(size - 1); ok {
+					out.copyFrom(valueCol, src, row)
+				} else {
+					out.setNull(row)
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// percentileDiscIndex is PERCENTILE_DISC's selection rule: the first value
+// whose cumulative distribution is >= p, i.e. 0-based index ceil(p·size)-1.
+func percentileDiscIndex(p float64, size int) int {
+	k := int(math.Ceil(p*float64(size))) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= size {
+		k = size - 1
+	}
+	return k
+}
+
+// evalLeadLag evaluates framed LEAD/LAG with an independent ORDER BY (§4.6):
+// the row's own row number inside the frame (a counting query on the
+// permutation tree), offset, then a selection query for the adjusted
+// position.
+func evalLeadLag(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, opt Options) error {
+	valueCol := p.t.Column(f.Arg)
+	drop := ""
+	if f.IgnoreNulls {
+		drop = f.Arg
+	}
+	fl := newFiltered(p, f, drop)
+	m := p.len()
+	sortedAll := p.sortedByFuncOrder(f)
+	// keptRowno: insertion position of every partition row among the kept
+	// rows in function order.
+	keptRowno := make([]int64, m)
+	keptBefore := int64(0)
+	for _, pos := range sortedAll {
+		keptRowno[pos] = keptBefore
+		if fl.kept(int(pos)) {
+			keptBefore++
+		}
+	}
+	sortedKept := keptOrder(fl, sortedAll)
+	perm := preprocess.Permutation(sortedKept)
+	tree, err := mst.Build(perm, opt.Tree)
+	if err != nil {
+		return err
+	}
+
+	off := f.N
+	if off == 0 {
+		off = 1
+	}
+	if f.Name == Lag {
+		off = -off
+	}
+
+	forEachRow(p, opt, func(lo, hi int) {
+		var scratch, mapped [3][2]int
+		var r64 [3][2]int64
+		for i := lo; i < hi; i++ {
+			ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
+			row := p.orig(i)
+			size := 0
+			for ri, r := range ranges {
+				size += r[1] - r[0]
+				r64[ri] = [2]int64{int64(r[0]), int64(r[1])}
+			}
+			if size == 0 {
+				out.setNull(row)
+				continue
+			}
+			vr := r64[:len(ranges)]
+			// Step 1 (§4.6): the row number of the own row within the
+			// frame: frame rows sorted strictly before it.
+			before := 0
+			for _, r := range ranges {
+				before += tree.CountRange(0, int(keptRowno[i]), int64(r[0]), int64(r[1]))
+			}
+			// Steps 2+3: adjust and select.
+			target := before + int(off)
+			if target < 0 || target >= size {
+				out.setNull(row)
+				continue
+			}
+			pos, ok := tree.SelectKthRanges(vr, target)
+			if !ok {
+				out.setNull(row)
+				continue
+			}
+			out.copyFrom(valueCol, fl.orig(int(tree.Value(pos))), row)
+		}
+	})
+	return nil
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"holistic/internal/mst"
+	"holistic/internal/parallel"
+	"holistic/internal/preprocess"
+)
+
+// Options tunes the window operator.
+type Options struct {
+	// Tree configures the merge sort trees (fanout, sampling, cascading).
+	Tree mst.Options
+	// TaskSize is the parallel task granularity in rows (default 20 000,
+	// the Hyper task size the paper uses, §5.5).
+	TaskSize int
+	// Profile, when non-nil, receives per-phase timings (Figure 14).
+	Profile *Profile
+}
+
+func (o Options) taskSize() int {
+	if o.TaskSize > 0 {
+		return o.TaskSize
+	}
+	return parallel.DefaultTaskSize
+}
+
+// Run evaluates a window specification over a table, returning one output
+// column per window function, aligned with the input's original row order.
+//
+// The pipeline follows §5/§6.7: one parallel sort establishes partitioning
+// and window order for all functions; each (partition, function) pair then
+// runs its preprocessing, builds its index structure, and probes it for
+// every row in parallel tasks.
+func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
+	if err := w.validate(t); err != nil {
+		return nil, err
+	}
+	prof := opt.Profile
+	n := t.Rows()
+
+	// Phase 1: sort by (PARTITION BY, ORDER BY) — shared by every function.
+	var sortIdx []int32
+	prof.timed("partition+order sort", func() {
+		sortIdx = preprocess.SortIndices(n, windowComparator(t, w))
+	})
+
+	// Phase 2: find partition boundaries.
+	var parts []*partition
+	prof.timed("partition boundaries", func() {
+		parts = splitPartitions(t, w, sortIdx)
+	})
+
+	// Phase 3: evaluate every (partition, function) pair. Output columns
+	// are written at original row positions directly.
+	outs := make([]*outBuilder, len(w.Funcs))
+	for i := range w.Funcs {
+		f := &w.Funcs[i]
+		outs[i] = newOutBuilder(f.Output, outputKind(t, f), n)
+	}
+	var errMu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	// Partitions run sequentially, functions within a partition too; the
+	// heavy parallelism lives inside each evaluation (sorting, tree build,
+	// probe tasks). For many small partitions the inner parallel calls
+	// degenerate to serial loops, so we additionally parallelise across
+	// partitions when there are many of them.
+	evalPart := func(pi int) {
+		p := parts[pi]
+		for fi := range w.Funcs {
+			f := &w.Funcs[fi]
+			if err := evalFunc(p, f, outs[fi], opt, prof); err != nil {
+				setErr(fmt.Errorf("%v (%s): %w", f.Name, f.Output, err))
+				return
+			}
+		}
+	}
+	if len(parts) >= 2*parallel.Workers() && parallel.Workers() > 1 {
+		parallel.ForEach(len(parts), evalPart)
+	} else {
+		for pi := range parts {
+			evalPart(pi)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	cols := make([]*Column, len(outs))
+	for i, b := range outs {
+		cols[i] = b.column()
+	}
+	res, err := NewTable(cols...)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{table: res}, nil
+}
+
+// windowComparator orders rows by (PARTITION BY, ORDER BY).
+func windowComparator(t *Table, w *WindowSpec) func(a, b int) int {
+	partCols := make([]*Column, len(w.PartitionBy))
+	for i, name := range w.PartitionBy {
+		partCols[i] = t.Column(name)
+	}
+	orderCols := make([]*Column, len(w.OrderBy))
+	for i, k := range w.OrderBy {
+		orderCols[i] = t.Column(k.Column)
+	}
+	return func(a, b int) int {
+		for _, c := range partCols {
+			if r := c.Compare(a, b, false, true); r != 0 {
+				return r
+			}
+		}
+		for i, k := range w.OrderBy {
+			if r := k.compare(orderCols[i], a, b); r != 0 {
+				return r
+			}
+		}
+		return 0
+	}
+}
+
+// splitPartitions cuts the sorted index array at partition-key changes.
+func splitPartitions(t *Table, w *WindowSpec, sortIdx []int32) []*partition {
+	n := len(sortIdx)
+	if n == 0 {
+		return nil
+	}
+	partCols := make([]*Column, len(w.PartitionBy))
+	for i, name := range w.PartitionBy {
+		partCols[i] = t.Column(name)
+	}
+	samePart := func(a, b int32) bool {
+		for _, c := range partCols {
+			if !c.equalAt(int(a), int(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	var parts []*partition
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || !samePart(sortIdx[i-1], sortIdx[i]) {
+			parts = append(parts, &partition{t: t, w: w, rows: sortIdx[start:i]})
+			start = i
+		}
+	}
+	return parts
+}
+
+// outputKind determines a function's result column type.
+func outputKind(t *Table, f *FuncSpec) Kind {
+	switch f.Name {
+	case CountStar, Count, CountDistinct, Rank, DenseRank, RowNumber, Ntile:
+		return Int64
+	case PercentRank, CumeDist, Avg, AvgDistinct, PercentileCont:
+		return Float64
+	case Sum, SumDistinct:
+		return t.Column(f.Arg).Kind()
+	case Min, Max:
+		return t.Column(f.Arg).Kind()
+	case PercentileDisc:
+		return t.Column(percentileValueColumn(f)).Kind()
+	case NthValue, FirstValue, LastValue, Lead, Lag:
+		return t.Column(f.Arg).Kind()
+	}
+	return Int64
+}
+
+// percentileValueColumn is the column a percentile returns values from: its
+// first function-level ORDER BY key.
+func percentileValueColumn(f *FuncSpec) string {
+	return f.OrderBy[0].Column
+}
+
+// evalFunc evaluates one function over one partition with the selected
+// engine.
+func evalFunc(p *partition, f *FuncSpec, out *outBuilder, opt Options, prof *Profile) error {
+	spec := p.w.effectiveFrame(f)
+	fc, err := p.frameComputer(spec)
+	if err != nil {
+		return err
+	}
+	switch f.Engine {
+	case EngineMergeSortTree:
+		return evalMST(p, f, fc, out, opt, prof)
+	case EngineNaive, EngineIncremental, EngineOSTree:
+		return evalCompetitor(p, f, fc, out, opt)
+	case EngineSegmentTree:
+		return evalSegTree(p, f, fc, out, opt)
+	}
+	return fmt.Errorf("unknown engine %v", f.Engine)
+}
+
+// forEachRow runs body over all partition rows in parallel tasks.
+func forEachRow(p *partition, opt Options, body func(lo, hi int)) {
+	parallel.For(p.len(), opt.taskSize(), body)
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"holistic/internal/parallel"
+)
+
+// TestParallelWorkersMatchSerial forces a worker pool larger than the CPU
+// count so the parallel code paths (sort merges, tree builds, probe tasks)
+// genuinely interleave, then cross-checks against a single-worker run.
+// Run with -race to catch data races in the shared read-only structures.
+func TestParallelWorkersMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := 30_000
+	d := make([]int64, n)
+	v := make([]int64, n)
+	g := make([]int64, n)
+	for i := range d {
+		d[i] = rng.Int63n(5000)
+		v[i] = rng.Int63n(300)
+		g[i] = rng.Int63n(4)
+	}
+	tab := MustNewTable(
+		NewInt64Column("g", g, nil),
+		NewInt64Column("d", d, nil),
+		NewInt64Column("v", v, nil),
+	)
+	build := func() *WindowSpec {
+		return &WindowSpec{
+			PartitionBy: []string{"g"},
+			OrderBy:     []SortKey{{Column: "d"}},
+			Funcs: []FuncSpec{
+				{Name: CountDistinct, Output: "cd", Arg: "v"},
+				{Name: SumDistinct, Output: "sd", Arg: "v"},
+				{Name: Rank, Output: "r", OrderBy: []SortKey{{Column: "v"}}},
+				{Name: PercentileDisc, Output: "p", Fraction: 0.5, OrderBy: []SortKey{{Column: "v"}}},
+				{Name: Lead, Output: "l", Arg: "v", N: 1, OrderBy: []SortKey{{Column: "v"}}},
+				{Name: DenseRank, Output: "dr", OrderBy: []SortKey{{Column: "v"}}},
+			},
+		}
+	}
+
+	prev := parallel.SetMaxWorkers(1)
+	serial, err := Run(tab, build(), Options{TaskSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetMaxWorkers(8)
+	par, err := Run(tab, build(), Options{TaskSize: 1024})
+	parallel.SetMaxWorkers(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"cd", "sd", "r", "p", "l", "dr"} {
+		sc, pc := serial.Column(col), par.Column(col)
+		for i := 0; i < n; i++ {
+			if sc.IsNull(i) != pc.IsNull(i) {
+				t.Fatalf("%s[%d]: null mismatch between serial and parallel", col, i)
+			}
+			if !sc.IsNull(i) && sc.Int64(i) != pc.Int64(i) {
+				t.Fatalf("%s[%d]: %d (serial) != %d (parallel)", col, i, sc.Int64(i), pc.Int64(i))
+			}
+		}
+	}
+}
+
+// TestManyPartitionsParallel exercises the cross-partition parallel path
+// (many small partitions, one task each).
+func TestManyPartitionsParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	n := 20_000
+	g := make([]int64, n)
+	v := make([]int64, n)
+	for i := range g {
+		g[i] = rng.Int63n(500) // ~40 rows per partition
+		v[i] = rng.Int63n(50)
+	}
+	tab := MustNewTable(
+		NewInt64Column("g", g, nil),
+		NewInt64Column("v", v, nil),
+	)
+	prev := parallel.SetMaxWorkers(8)
+	defer parallel.SetMaxWorkers(prev)
+	w := &WindowSpec{
+		PartitionBy: []string{"g"},
+		OrderBy:     []SortKey{{Column: "v"}},
+		Funcs: []FuncSpec{
+			{Name: CountDistinct, Output: "cd", Arg: "v"},
+			{Name: RowNumber, Output: "rn", OrderBy: []SortKey{{Column: "v"}}},
+		},
+	}
+	res, err := Run(tab, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check against per-partition brute force.
+	for _, probe := range []int{0, 17, 4099, n - 1} {
+		seen := map[int64]struct{}{}
+		rn := int64(1)
+		for j := 0; j < n; j++ {
+			if g[j] != g[probe] {
+				continue
+			}
+			// default frame: RANGE UNBOUNDED..CURRENT (peers included)
+			if v[j] <= v[probe] {
+				seen[v[j]] = struct{}{}
+			}
+			if v[j] < v[probe] || (v[j] == v[probe] && j < probe) {
+				rn++
+			}
+		}
+		if got := res.Column("cd").Int64(probe); got != int64(len(seen)) {
+			t.Fatalf("row %d: cd %d, want %d", probe, got, len(seen))
+		}
+		if got := res.Column("rn").Int64(probe); got != rn {
+			t.Fatalf("row %d: rn %d, want %d", probe, got, rn)
+		}
+	}
+}

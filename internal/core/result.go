@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Result holds the window functions' output columns, in the original row
+// order of the input table.
+type Result struct {
+	table *Table
+}
+
+// Column returns the output column produced under the given name.
+func (r *Result) Column(name string) *Column { return r.table.Column(name) }
+
+// Table returns all output columns as a table.
+func (r *Result) Table() *Table { return r.table }
+
+// Profile records how long each execution phase took — the instrumentation
+// behind Figure 14's cost breakdown. Phases from per-partition work are
+// accumulated across partitions and functions.
+type Profile struct {
+	mu     sync.Mutex
+	order  []string
+	totals map[string]time.Duration
+}
+
+func newProfile() *Profile {
+	return &Profile{totals: make(map[string]time.Duration)}
+}
+
+// add accumulates a duration under a phase name.
+func (p *Profile) add(name string, d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.totals == nil {
+		p.totals = make(map[string]time.Duration)
+	}
+	if _, ok := p.totals[name]; !ok {
+		p.order = append(p.order, name)
+	}
+	p.totals[name] += d
+}
+
+// timed runs fn and accumulates its wall time under name.
+func (p *Profile) timed(name string, fn func()) {
+	if p == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	p.add(name, time.Since(start))
+}
+
+// Phase is one named phase and its accumulated duration.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Phases returns the recorded phases in first-seen order.
+func (p *Profile) Phases() []Phase {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Phase, len(p.order))
+	for i, n := range p.order {
+		out[i] = Phase{Name: n, Duration: p.totals[n]}
+	}
+	return out
+}
+
+// Total returns the sum of all phase durations.
+func (p *Profile) Total() time.Duration {
+	var t time.Duration
+	for _, ph := range p.Phases() {
+		t += ph.Duration
+	}
+	return t
+}
+
+// String renders the breakdown one phase per line.
+func (p *Profile) String() string {
+	s := ""
+	for _, ph := range p.Phases() {
+		s += fmt.Sprintf("%-28s %12v\n", ph.Name, ph.Duration)
+	}
+	return s
+}
+
+// outBuilder accumulates one function's results. Rows are written at their
+// ORIGINAL row index (the evaluator knows the original index of every sorted
+// position), so no separate scatter pass is needed. Writes target disjoint
+// rows and are safe to issue concurrently.
+type outBuilder struct {
+	name   string
+	kind   Kind
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	nulls  []bool
+}
+
+func newOutBuilder(name string, kind Kind, n int) *outBuilder {
+	b := &outBuilder{name: name, kind: kind, nulls: make([]bool, n)}
+	switch kind {
+	case Int64:
+		b.ints = make([]int64, n)
+	case Float64:
+		b.floats = make([]float64, n)
+	case String:
+		b.strs = make([]string, n)
+	case Bool:
+		b.bools = make([]bool, n)
+	}
+	return b
+}
+
+func (b *outBuilder) setInt(row int, v int64)     { b.ints[row] = v }
+func (b *outBuilder) setFloat(row int, v float64) { b.floats[row] = v }
+func (b *outBuilder) setNull(row int)             { b.nulls[row] = true }
+
+// copyFrom copies src's value at srcRow into the output at dstRow,
+// preserving NULLs. src must have the builder's kind.
+func (b *outBuilder) copyFrom(src *Column, srcRow, dstRow int) {
+	if src.IsNull(srcRow) {
+		b.nulls[dstRow] = true
+		return
+	}
+	switch b.kind {
+	case Int64:
+		b.ints[dstRow] = src.Int64(srcRow)
+	case Float64:
+		b.floats[dstRow] = src.Float64(srcRow)
+	case String:
+		b.strs[dstRow] = src.StringAt(srcRow)
+	case Bool:
+		b.bools[dstRow] = src.Bool(srcRow)
+	}
+}
+
+// column finalises the builder into a Column.
+func (b *outBuilder) column() *Column {
+	nulls := b.nulls
+	any := false
+	for _, v := range nulls {
+		if v {
+			any = true
+			break
+		}
+	}
+	if !any {
+		nulls = nil
+	}
+	return &Column{name: b.name, kind: b.kind, ints: b.ints, floats: b.floats, strs: b.strs, bools: b.bools, nulls: nulls}
+}

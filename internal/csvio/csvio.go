@@ -1,0 +1,187 @@
+// Package csvio reads and writes core tables as CSV with type inference,
+// shared by the command-line tools. Column types are inferred from the
+// data: INT64, then ISO dates (stored as days since the Unix epoch), then
+// FLOAT64, then STRING; empty cells become SQL NULLs.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"holistic/internal/core"
+)
+
+// dateFormat is the accepted date layout.
+const dateFormat = "2006-01-02"
+
+var epoch = time.Unix(0, 0).UTC()
+
+// DayToDate renders a days-since-epoch value as an ISO date.
+func DayToDate(day int64) string {
+	return epoch.AddDate(0, 0, int(day)).Format(dateFormat)
+}
+
+// DateToDay parses an ISO date into days since the epoch.
+func DateToDay(s string) (int64, error) {
+	d, err := time.Parse(dateFormat, s)
+	if err != nil {
+		return 0, err
+	}
+	return int64(d.Sub(epoch).Hours() / 24), nil
+}
+
+// File couples a loaded table with its rendering layout: which columns were
+// parsed from ISO dates (and are stored as day numbers), so writing renders
+// them back as dates.
+type File struct {
+	Table *core.Table
+	// DateColumns marks columns parsed from ISO dates.
+	DateColumns map[string]bool
+}
+
+// Read loads a CSV (header row required) into a table, inferring column
+// types.
+func Read(r io.Reader) (*File, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("csvio: empty input (missing header row)")
+	}
+	header := records[0]
+	rows := records[1:]
+	n := len(rows)
+	dateCols := map[string]bool{}
+	cols := make([]*core.Column, len(header))
+	for c, name := range header {
+		isInt, isFloat, isDate := true, true, true
+		sawValue := false
+		for _, row := range rows {
+			v := row[c]
+			if v == "" {
+				continue
+			}
+			sawValue = true
+			if isInt {
+				if _, e := strconv.ParseInt(v, 10, 64); e != nil {
+					isInt = false
+				}
+			}
+			if isFloat {
+				if _, e := strconv.ParseFloat(v, 64); e != nil {
+					isFloat = false
+				}
+			}
+			if isDate {
+				if _, e := time.Parse(dateFormat, v); e != nil {
+					isDate = false
+				}
+			}
+			if !isInt && !isFloat && !isDate {
+				break
+			}
+		}
+		nulls := make([]bool, n)
+		hasNull := false
+		for i, row := range rows {
+			if row[c] == "" {
+				nulls[i] = true
+				hasNull = true
+			}
+		}
+		if !hasNull {
+			nulls = nil
+		}
+		switch {
+		case isInt && sawValue:
+			vals := make([]int64, n)
+			for i, row := range rows {
+				if row[c] != "" {
+					vals[i], _ = strconv.ParseInt(row[c], 10, 64)
+				}
+			}
+			cols[c] = core.NewInt64Column(name, vals, nulls)
+		case isDate && sawValue:
+			vals := make([]int64, n)
+			for i, row := range rows {
+				if row[c] != "" {
+					vals[i], _ = DateToDay(row[c])
+				}
+			}
+			cols[c] = core.NewInt64Column(name, vals, nulls)
+			dateCols[name] = true
+		case isFloat && sawValue:
+			vals := make([]float64, n)
+			for i, row := range rows {
+				if row[c] != "" {
+					vals[i], _ = strconv.ParseFloat(row[c], 64)
+				}
+			}
+			cols[c] = core.NewFloat64Column(name, vals, nulls)
+		default:
+			// CSV cannot distinguish the empty string from NULL; empty
+			// cells are treated as NULL for every type, strings included.
+			vals := make([]string, n)
+			for i, row := range rows {
+				vals[i] = row[c]
+			}
+			cols[c] = core.NewStringColumn(name, vals, nulls)
+		}
+	}
+	table, err := core.NewTable(cols...)
+	if err != nil {
+		return nil, err
+	}
+	return &File{Table: table, DateColumns: dateCols}, nil
+}
+
+// Write renders a table as CSV with a header row. NULLs become empty cells.
+// dateColumns (may be nil) marks INT64 columns rendered as ISO dates.
+func Write(w io.Writer, t *core.Table, dateColumns map[string]bool) error {
+	cw := csv.NewWriter(w)
+	cols := t.Columns()
+	header := make([]string, len(cols))
+	for i, c := range cols {
+		header[i] = c.Name()
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(cols))
+	for i := 0; i < t.Rows(); i++ {
+		for c, col := range cols {
+			if dateColumns[col.Name()] && col.Kind() == core.Int64 && !col.IsNull(i) {
+				row[c] = DayToDate(col.Int64(i))
+				continue
+			}
+			row[c] = FormatCell(col, i)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatCell renders one value; NULL renders as the empty string.
+func FormatCell(col *core.Column, i int) string {
+	if col.IsNull(i) {
+		return ""
+	}
+	switch col.Kind() {
+	case core.Int64:
+		return strconv.FormatInt(col.Int64(i), 10)
+	case core.Float64:
+		return strconv.FormatFloat(col.Float64(i), 'g', -1, 64)
+	case core.String:
+		return col.StringAt(i)
+	default:
+		return strconv.FormatBool(col.Bool(i))
+	}
+}

@@ -1,0 +1,159 @@
+package csvio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"holistic/internal/core"
+)
+
+func TestTypeInference(t *testing.T) {
+	src := `i,f,d,s,mixed
+1,1.5,2024-01-01,abc,1
+-2,2,2024-02-29,def,
+3,.25,1969-12-31,7up,2.5
+`
+	f, err := Read(strings.NewReader(src))
+	table := f.Table
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Rows() != 3 {
+		t.Fatalf("rows = %d", table.Rows())
+	}
+	if k := table.Column("i").Kind(); k != core.Int64 {
+		t.Fatalf("i inferred as %v", k)
+	}
+	if k := table.Column("f").Kind(); k != core.Float64 {
+		t.Fatalf("f inferred as %v", k)
+	}
+	if k := table.Column("d").Kind(); k != core.Int64 {
+		t.Fatalf("d (dates) inferred as %v", k)
+	}
+	if k := table.Column("s").Kind(); k != core.String {
+		t.Fatalf("s inferred as %v", k)
+	}
+	// "mixed" holds 1 and 2.5 -> float, with a NULL in between.
+	if k := table.Column("mixed").Kind(); k != core.Float64 {
+		t.Fatalf("mixed inferred as %v", k)
+	}
+	if !table.Column("mixed").IsNull(1) {
+		t.Fatal("empty cell must be NULL")
+	}
+	if table.Column("i").Int64(1) != -2 {
+		t.Fatal("int parse wrong")
+	}
+	// Dates become day numbers; 1969-12-31 is day -1.
+	if table.Column("d").Int64(2) != -1 {
+		t.Fatalf("date day = %d, want -1", table.Column("d").Int64(2))
+	}
+}
+
+func TestDateHelpers(t *testing.T) {
+	day, err := DateToDay("1970-01-02")
+	if err != nil || day != 1 {
+		t.Fatalf("DateToDay = (%d, %v)", day, err)
+	}
+	if got := DayToDate(day); got != "1970-01-02" {
+		t.Fatalf("DayToDate = %q", got)
+	}
+	for _, d := range []string{"1970-01-01", "2000-02-29", "1992-06-11", "2038-01-19"} {
+		day, err := DateToDay(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if DayToDate(day) != d {
+			t.Fatalf("round trip of %s failed: %s", d, DayToDate(day))
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	table := core.MustNewTable(
+		core.NewInt64Column("a", []int64{1, 2, 0}, []bool{false, false, true}),
+		core.NewFloat64Column("b", []float64{1.25, 0, -3}, []bool{false, true, false}),
+		core.NewStringColumn("c", []string{"x", "y,z", `qu"ote`}, nil),
+		core.NewBoolColumn("d", []bool{true, false, true}, nil),
+	)
+	var buf bytes.Buffer
+	if err := Write(&buf, table, nil); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := bf.Table
+	if back.Rows() != 3 {
+		t.Fatalf("rows = %d", back.Rows())
+	}
+	if !back.Column("a").IsNull(2) || back.Column("a").Int64(1) != 2 {
+		t.Fatal("int column round trip failed")
+	}
+	if !back.Column("b").IsNull(1) || back.Column("b").Float64(0) != 1.25 {
+		t.Fatal("float column round trip failed")
+	}
+	if back.Column("c").StringAt(1) != "y,z" || back.Column("c").StringAt(2) != `qu"ote` {
+		t.Fatal("string quoting round trip failed")
+	}
+	// Bools come back as strings ("true"/"false") — CSV has no bool type.
+	if back.Column("d").Kind() != core.String || back.Column("d").StringAt(0) != "true" {
+		t.Fatal("bool rendering failed")
+	}
+}
+
+func TestEmptyAndErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty input must fail")
+	}
+	// Header only: zero-row table with string columns (no data to infer).
+	f2, err := Read(strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Table.Rows() != 0 || f2.Table.Column("a") == nil {
+		t.Fatal("header-only input mishandled")
+	}
+	// Ragged rows are a CSV error.
+	if _, err := Read(strings.NewReader("a,b\n1\n")); err == nil {
+		t.Fatal("ragged input must fail")
+	}
+}
+
+func TestAllNullColumnDefaultsToString(t *testing.T) {
+	// encoding/csv skips blank lines, so anchor the empty column with a
+	// second, populated one.
+	f3, err := Read(strings.NewReader("a,b\n,1\n,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table3 := f3.Table
+	if table3.Rows() != 2 {
+		t.Fatalf("rows = %d", table3.Rows())
+	}
+	if table3.Column("a").Kind() != core.String {
+		t.Fatalf("all-empty column inferred as %v", table3.Column("a").Kind())
+	}
+	if !table3.Column("a").IsNull(0) || !table3.Column("a").IsNull(1) {
+		t.Fatal("empty cells must stay NULL")
+	}
+}
+
+func TestDateColumnsRenderAsDates(t *testing.T) {
+	src := "d,v\n1995-06-22,1\n1995-05-09,2\n"
+	f, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.DateColumns["d"] || f.DateColumns["v"] {
+		t.Fatalf("date detection wrong: %v", f.DateColumns)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, f.Table, f.DateColumns); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != src {
+		t.Fatalf("date round trip:\n%q !=\n%q", got, src)
+	}
+}

@@ -1,0 +1,57 @@
+package incremental
+
+// DistinctCountRange evaluates a framed COUNT DISTINCT for rows [rowLo,
+// rowHi) with Wesley and Xu's incremental algorithm: a hash table maps each
+// key in the current frame to its multiplicity; the distinct count is the
+// table's size. The state starts empty, so a mid-input task first pays for
+// rebuilding its first frame.
+func DistinctCountRange(keys []int64, frame FrameFunc, out []int64, rowLo, rowHi int) {
+	counts := make(map[int64]int)
+	var w Window
+	for i := rowLo; i < rowHi; i++ {
+		lo, hi := frame(i)
+		w.Advance(lo, hi,
+			func(p int) { counts[keys[p]]++ },
+			func(p int) {
+				if c := counts[keys[p]]; c == 1 {
+					delete(counts, keys[p])
+				} else {
+					counts[keys[p]] = c - 1
+				}
+			})
+		out[i] = int64(len(counts))
+	}
+}
+
+// DistinctCountNaiveRange evaluates a framed COUNT DISTINCT for rows
+// [rowLo, rowHi) by deduplicating every frame from scratch — the O(n·w)
+// baseline.
+func DistinctCountNaiveRange(keys []int64, frame FrameFunc, out []int64, rowLo, rowHi int) {
+	for i := rowLo; i < rowHi; i++ {
+		lo, hi := frame(i)
+		seen := make(map[int64]struct{}, hi-lo)
+		for p := lo; p < hi; p++ {
+			seen[keys[p]] = struct{}{}
+		}
+		out[i] = int64(len(seen))
+	}
+}
+
+// SumDistinctNaiveRange evaluates a framed SUM(DISTINCT x) naively. valid[i]
+// is false when the frame is empty (SQL NULL).
+func SumDistinctNaiveRange(keys []int64, values []float64, frame FrameFunc, out []float64, valid []bool, rowLo, rowHi int) {
+	for i := rowLo; i < rowHi; i++ {
+		lo, hi := frame(i)
+		seen := make(map[int64]struct{}, hi-lo)
+		sum := 0.0
+		for p := lo; p < hi; p++ {
+			if _, dup := seen[keys[p]]; dup {
+				continue
+			}
+			seen[keys[p]] = struct{}{}
+			sum += values[p]
+		}
+		out[i] = sum
+		valid[i] = hi > lo
+	}
+}

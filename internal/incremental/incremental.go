@@ -1,0 +1,68 @@
+// Package incremental implements the competitor evaluation strategies the
+// paper measures against merge sort trees: the incremental algorithms of
+// Wesley and Xu (PVLDB 2016) and the naive per-frame recomputation (§5.5).
+//
+// Incremental engines keep an aggregation state (a counting hash table for
+// distinct counts, a sorted buffer for percentiles) up to date as tuples
+// enter and leave the window frame. That is O(1)–O(w) per row while frames
+// overlap, but the state is inherently serial: a task that starts in the
+// middle of the input must first rebuild the state of its first frame,
+// re-doing O(n) work in the worst case. Under task-based parallelism with
+// O(n) tasks this degrades the algorithms to O(n²) (§3.2) — the effect is
+// real and measured in Figures 10–12, which is why these engines accept row
+// ranges and are driven by the same 20 000-tuple tasks as everything else.
+//
+// All engines consume preprocessed integer keys (see package preprocess) and
+// a FrameFunc that yields each row's continuous frame; non-monotonic frames
+// are supported and trigger the add/remove bookkeeping whose overhead
+// Figure 12 quantifies.
+package incremental
+
+// FrameFunc returns the continuous frame [lo, hi) of a row, already clamped
+// to [0, n).
+type FrameFunc func(row int) (lo, hi int)
+
+// Window incrementally maintains a frame over positions, calling add/remove
+// exactly once per position entering or leaving. It is the sliding-state
+// core every incremental competitor shares.
+type Window struct {
+	lo, hi  int // current [lo, hi); lo == hi means empty
+	started bool
+}
+
+// Advance moves the window to [lo, hi), invoking the callbacks per position.
+// Frames may move backwards (non-monotonic case); the extra bookkeeping per
+// re-entering tuple is exactly the overhead the paper describes.
+func (w *Window) Advance(lo, hi int, add, remove func(pos int)) {
+	if hi < lo {
+		hi = lo
+	}
+	if !w.started {
+		w.lo, w.hi = lo, lo
+		w.started = true
+	}
+	// If the new frame is disjoint from the current one, drop everything
+	// first so we never add a position twice.
+	if lo >= w.hi || hi <= w.lo {
+		for p := w.lo; p < w.hi; p++ {
+			remove(p)
+		}
+		w.lo, w.hi = lo, lo
+	}
+	for w.hi < hi {
+		add(w.hi)
+		w.hi++
+	}
+	for w.hi > hi {
+		w.hi--
+		remove(w.hi)
+	}
+	for w.lo > lo {
+		w.lo--
+		add(w.lo)
+	}
+	for w.lo < lo {
+		remove(w.lo)
+		w.lo++
+	}
+}

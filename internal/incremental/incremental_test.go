@@ -1,0 +1,277 @@
+package incremental
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// slidingFrame builds a ROWS BETWEEN w-1 PRECEDING AND CURRENT ROW frame.
+func slidingFrame(n, w int) FrameFunc {
+	return func(i int) (int, int) {
+		lo := i - w + 1
+		if lo < 0 {
+			lo = 0
+		}
+		return lo, i + 1
+	}
+}
+
+// jumpyFrame builds the non-monotonic frame family of §6.5.
+func jumpyFrame(keys []int64, n int) FrameFunc {
+	return func(i int) (int, int) {
+		h := int(keys[i] * 7703 % 499)
+		lo := i - h
+		hi := i + (500 - h) + 1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		if hi < lo {
+			hi = lo
+		}
+		return lo, hi
+	}
+}
+
+func refDistinct(keys []int64, lo, hi int) int64 {
+	seen := make(map[int64]struct{})
+	for p := lo; p < hi; p++ {
+		seen[keys[p]] = struct{}{}
+	}
+	return int64(len(seen))
+}
+
+func TestDistinctCountMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 3000
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(40)
+	}
+	for _, frame := range []FrameFunc{slidingFrame(n, 1), slidingFrame(n, 97), jumpyFrame(keys, n)} {
+		inc := make([]int64, n)
+		DistinctCountRange(keys, frame, inc, 0, n)
+		naive := make([]int64, n)
+		DistinctCountNaiveRange(keys, frame, naive, 0, n)
+		for i := 0; i < n; i++ {
+			lo, hi := frame(i)
+			want := refDistinct(keys, lo, hi)
+			if inc[i] != want {
+				t.Fatalf("incremental row %d: got %d want %d", i, inc[i], want)
+			}
+			if naive[i] != want {
+				t.Fatalf("naive row %d: got %d want %d", i, naive[i], want)
+			}
+		}
+	}
+}
+
+func TestDistinctCountTaskBoundaries(t *testing.T) {
+	// Evaluating in separate row ranges must give identical results to one
+	// pass — each task rebuilds its own state.
+	rng := rand.New(rand.NewSource(2))
+	n := 1000
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(25)
+	}
+	frame := slidingFrame(n, 113)
+	whole := make([]int64, n)
+	DistinctCountRange(keys, frame, whole, 0, n)
+	chunked := make([]int64, n)
+	for lo := 0; lo < n; lo += 97 {
+		hi := min(lo+97, n)
+		DistinctCountRange(keys, frame, chunked, lo, hi)
+	}
+	if !slices.Equal(whole, chunked) {
+		t.Fatal("task-chunked evaluation differs from single pass")
+	}
+}
+
+func refKth(keys []int64, lo, hi, k int) (int64, bool) {
+	if k < 0 || k >= hi-lo {
+		return 0, false
+	}
+	buf := slices.Clone(keys[lo:hi])
+	slices.Sort(buf)
+	return buf[k], true
+}
+
+func TestSelectEnginesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 2000
+	keys := make([]int64, n)
+	for i := range keys {
+		// Unique keys (position-disambiguated), as the operator provides.
+		keys[i] = rng.Int63n(50)*int64(n) + int64(i)
+	}
+	median := func(size int) int { return (size - 1) / 2 }
+	p90 := func(size int) int {
+		if size == 0 {
+			return -1
+		}
+		return (size*90+99)/100 - 1
+	}
+	engines := map[string]func(FrameFunc, KthFunc, []int64, []bool){
+		"incremental": func(f FrameFunc, k KthFunc, out []int64, valid []bool) {
+			SelectKthRange(keys, f, k, out, valid, 0, n)
+		},
+		"ostree": func(f FrameFunc, k KthFunc, out []int64, valid []bool) {
+			SelectKthOSTreeRange(keys, f, k, out, valid, 0, n)
+		},
+		"naive": func(f FrameFunc, k KthFunc, out []int64, valid []bool) {
+			SelectKthNaiveRange(keys, f, k, out, valid, 0, n)
+		},
+	}
+	for _, kth := range []KthFunc{median, p90} {
+		for _, frame := range []FrameFunc{slidingFrame(n, 1), slidingFrame(n, 301), jumpyFrame(keys, n)} {
+			for name, run := range engines {
+				out := make([]int64, n)
+				valid := make([]bool, n)
+				run(frame, kth, out, valid)
+				for i := 0; i < n; i++ {
+					lo, hi := frame(i)
+					want, wantOK := refKth(keys, lo, hi, kth(hi-lo))
+					if valid[i] != wantOK || (wantOK && out[i] != want) {
+						t.Fatalf("%s row %d: got (%d,%v) want (%d,%v)", name, i, out[i], valid[i], want, wantOK)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSelectChunkedMatchesWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 800
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(100)*1000 + int64(i)
+	}
+	frame := slidingFrame(n, 59)
+	kth := func(size int) int { return size / 2 }
+	whole := make([]int64, n)
+	wholeV := make([]bool, n)
+	SelectKthRange(keys, frame, kth, whole, wholeV, 0, n)
+	chunk := make([]int64, n)
+	chunkV := make([]bool, n)
+	for lo := 0; lo < n; lo += 131 {
+		SelectKthRange(keys, frame, kth, chunk, chunkV, lo, min(lo+131, n))
+	}
+	if !slices.Equal(whole, chunk) || !slices.Equal(wholeV, chunkV) {
+		t.Fatal("chunked select differs from whole pass")
+	}
+}
+
+func TestCountBelowSelfNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 500
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(20)
+	}
+	frame := slidingFrame(n, 73)
+	strict := make([]int64, n)
+	CountBelowSelfNaiveRange(keys, frame, true, strict, 0, n)
+	nonStrict := make([]int64, n)
+	CountBelowSelfNaiveRange(keys, frame, false, nonStrict, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := frame(i)
+		ws, wn := int64(0), int64(0)
+		for p := lo; p < hi; p++ {
+			if keys[p] < keys[i] {
+				ws++
+			}
+			if keys[p] <= keys[i] {
+				wn++
+			}
+		}
+		if strict[i] != ws || nonStrict[i] != wn {
+			t.Fatalf("row %d: got (%d,%d) want (%d,%d)", i, strict[i], nonStrict[i], ws, wn)
+		}
+	}
+}
+
+func TestDenseRankNaive(t *testing.T) {
+	keys := []int64{5, 3, 3, 8, 5, 1, 3}
+	n := len(keys)
+	out := make([]int64, n)
+	DenseRankNaiveRange(keys, func(int) (int, int) { return 0, n }, out, 0, n)
+	want := []int64{2, 1, 1, 3, 2, 0, 1}
+	if !slices.Equal(out, want) {
+		t.Fatalf("dense rank = %v, want %v", out, want)
+	}
+}
+
+func TestLeadLagNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 400
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(30)*int64(n) + int64(i) // unique
+	}
+	frame := slidingFrame(n, 41)
+	for _, offset := range []int{-2, -1, 0, 1, 3} {
+		out := make([]int64, n)
+		valid := make([]bool, n)
+		LeadLagNaiveRange(keys, frame, offset, out, valid, 0, n)
+		for i := 0; i < n; i++ {
+			lo, hi := frame(i)
+			sorted := slices.Clone(keys[lo:hi])
+			slices.Sort(sorted)
+			rowno, _ := slices.BinarySearch(sorted, keys[i])
+			target := rowno + offset
+			if target < 0 || target >= len(sorted) {
+				if valid[i] {
+					t.Fatalf("offset %d row %d: expected NULL", offset, i)
+				}
+				continue
+			}
+			if !valid[i] || out[i] != sorted[target] {
+				t.Fatalf("offset %d row %d: got (%d,%v) want %d", offset, i, out[i], valid[i], sorted[target])
+			}
+		}
+	}
+}
+
+func TestWindowAdvanceDisjointJump(t *testing.T) {
+	// A frame jumping to a disjoint range must fully drain the old one.
+	adds, removes := map[int]int{}, map[int]int{}
+	var w Window
+	w.Advance(0, 5, func(p int) { adds[p]++ }, func(p int) { removes[p]++ })
+	w.Advance(10, 12, func(p int) { adds[p]++ }, func(p int) { removes[p]++ })
+	w.Advance(3, 4, func(p int) { adds[p]++ }, func(p int) { removes[p]++ })
+	for p := 0; p < 15; p++ {
+		inFinal := p == 3
+		net := adds[p] - removes[p]
+		want := 0
+		if inFinal {
+			want = 1
+		}
+		if net != want {
+			t.Fatalf("position %d: net membership %d, want %d", p, net, want)
+		}
+		if adds[p] < removes[p] {
+			t.Fatalf("position %d removed more often than added", p)
+		}
+	}
+}
+
+func TestSumDistinctNaive(t *testing.T) {
+	keys := []int64{1, 2, 1, 3, 2}
+	values := []float64{10, 20, 11, 30, 21}
+	n := len(keys)
+	out := make([]float64, n)
+	valid := make([]bool, n)
+	SumDistinctNaiveRange(keys, values, func(i int) (int, int) { return 0, i + 1 }, out, valid, 0, n)
+	// First occurrence wins within the frame scan.
+	want := []float64{10, 30, 30, 60, 60}
+	for i := range want {
+		if !valid[i] || out[i] != want[i] {
+			t.Fatalf("row %d: got (%v,%v) want %v", i, out[i], valid[i], want[i])
+		}
+	}
+}

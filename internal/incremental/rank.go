@@ -1,0 +1,80 @@
+package incremental
+
+import "math/rand"
+
+// CountBelowSelfNaiveRange evaluates framed rank-style counts naively:
+// out[i] is the number of frame positions p with keys[p] < keys[i]
+// (strict=true) or keys[p] <= keys[i] (strict=false). RANK is the strict
+// count plus one, ROW_NUMBER the strict count over disambiguated keys plus
+// one, CUME_DIST the non-strict count divided by the frame size.
+func CountBelowSelfNaiveRange(keys []int64, frame FrameFunc, strict bool, out []int64, rowLo, rowHi int) {
+	for i := rowLo; i < rowHi; i++ {
+		lo, hi := frame(i)
+		self := keys[i]
+		cnt := int64(0)
+		if strict {
+			for p := lo; p < hi; p++ {
+				if keys[p] < self {
+					cnt++
+				}
+			}
+		} else {
+			for p := lo; p < hi; p++ {
+				if keys[p] <= self {
+					cnt++
+				}
+			}
+		}
+		out[i] = cnt
+	}
+}
+
+// DenseRankNaiveRange evaluates a framed DENSE_RANK naively: out[i] is the
+// number of distinct key values inside the frame that are smaller than
+// keys[i] (the dense rank minus one).
+func DenseRankNaiveRange(keys []int64, frame FrameFunc, out []int64, rowLo, rowHi int) {
+	for i := rowLo; i < rowHi; i++ {
+		lo, hi := frame(i)
+		self := keys[i]
+		seen := make(map[int64]struct{}, hi-lo)
+		for p := lo; p < hi; p++ {
+			if keys[p] < self {
+				seen[keys[p]] = struct{}{}
+			}
+		}
+		out[i] = int64(len(seen))
+	}
+}
+
+// LeadLagNaiveRange evaluates a framed LEAD/LAG with its own ORDER BY
+// (§4.6) naively. keys must be unique (position-disambiguated): for each row
+// the engine counts the frame keys smaller than the row's own key (its
+// 0-based row number in function order), offsets it, and selects the key at
+// the adjusted position with quickselect. valid[i] is false when the
+// adjusted position leaves the frame or the row itself is outside its frame.
+func LeadLagNaiveRange(keys []int64, frame FrameFunc, offset int, out []int64, valid []bool, rowLo, rowHi int) {
+	var buf []int64
+	rng := rand.New(rand.NewSource(int64(rowLo)*2654435761 + 7))
+	for i := rowLo; i < rowHi; i++ {
+		lo, hi := frame(i)
+		if i < lo || i >= hi {
+			valid[i] = false
+			continue
+		}
+		self := keys[i]
+		rowno := 0
+		for p := lo; p < hi; p++ {
+			if keys[p] < self {
+				rowno++
+			}
+		}
+		target := rowno + offset
+		if target < 0 || target >= hi-lo {
+			valid[i] = false
+			continue
+		}
+		buf = append(buf[:0], keys[lo:hi]...)
+		out[i] = quickselect(buf, target, rng)
+		valid[i] = true
+	}
+}

@@ -1,0 +1,129 @@
+package mst
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// prevIdcs computes the previous-occurrence index array of Algorithm 1 in
+// the shifted representation of §5.1: 0 means "no previous occurrence",
+// otherwise the value is previousIndex+1.
+func prevIdcsRef(vals []int64) []int64 {
+	last := make(map[int64]int)
+	out := make([]int64, len(vals))
+	for i, v := range vals {
+		if p, ok := last[v]; ok {
+			out[i] = int64(p) + 1
+		}
+		last[v] = i
+	}
+	return out
+}
+
+func bruteSumDistinct(vals []int64, lo, hi int) (float64, bool) {
+	seen := make(map[int64]bool)
+	sum := 0.0
+	any := false
+	for i := lo; i < hi && i < len(vals); i++ {
+		if i < 0 || seen[vals[i]] {
+			continue
+		}
+		seen[vals[i]] = true
+		sum += float64(vals[i])
+		any = true
+	}
+	return sum, any
+}
+
+func bruteMinDistinct(vals []int64, lo, hi int) (int64, bool) {
+	var best int64
+	any := false
+	for i := lo; i < hi && i < len(vals); i++ {
+		if !any || vals[i] < best {
+			best = vals[i]
+			any = true
+		}
+	}
+	return best, any
+}
+
+func TestAnnotatedSumDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{0, 1, 2, 17, 64, 500, 3000} {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(int64(n)/4 + 2) // plenty of duplicates
+		}
+		keys := prevIdcsRef(vals)
+		aggVals := make([]float64, n)
+		for i, v := range vals {
+			aggVals[i] = float64(v)
+		}
+		for _, opt := range []Options{{}, {Fanout: 2, SampleEvery: 1}, {NoCascading: true}, {Serial: true}} {
+			at, err := BuildAnnotated(keys, aggVals, func(a, b float64) float64 { return a + b }, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 60; trial++ {
+				lo := rng.Intn(n + 1)
+				hi := lo + rng.Intn(n+1-lo)
+				// SUM DISTINCT over frame [lo, hi): entries with prevIdx
+				// (shifted) < lo+1 are first occurrences inside the frame.
+				got, gotOK := at.AggBelow(lo, hi, int64(lo)+1)
+				want, wantOK := bruteSumDistinct(vals, lo, hi)
+				if gotOK != wantOK || (gotOK && got != want) {
+					t.Fatalf("n=%d opt=%+v frame [%d,%d): got (%v,%v) want (%v,%v)",
+						n, opt, lo, hi, got, gotOK, want, wantOK)
+				}
+				// The count must agree with a plain count query too.
+				gotCnt := at.CountBelow(lo, hi, int64(lo)+1)
+				wantCnt := bruteCountBelow(keys, lo, hi, int64(lo)+1)
+				if gotCnt != wantCnt {
+					t.Fatalf("n=%d frame [%d,%d): count %d want %d", n, lo, hi, gotCnt, wantCnt)
+				}
+			}
+		}
+	}
+}
+
+func TestAnnotatedMinDistinct(t *testing.T) {
+	// MIN(DISTINCT x) == MIN(x); the annotated tree must still produce it
+	// through prefix-min annotations.
+	rng := rand.New(rand.NewSource(11))
+	n := 1000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(100)
+	}
+	keys := prevIdcsRef(vals)
+	at, err := BuildAnnotated(keys, vals, func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.Intn(n + 1)
+		hi := lo + rng.Intn(n+1-lo)
+		got, gotOK := at.AggBelow(lo, hi, int64(lo)+1)
+		want, wantOK := bruteMinDistinct(vals, lo, hi)
+		if gotOK != wantOK || (gotOK && got != want) {
+			t.Fatalf("frame [%d,%d): got (%v,%v) want (%v,%v)", lo, hi, got, gotOK, want, wantOK)
+		}
+	}
+}
+
+func TestAnnotatedValidation(t *testing.T) {
+	if _, err := BuildAnnotated([]int64{0, 1}, []int64{1}, func(a, b int64) int64 { return a + b }, Options{}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := BuildAnnotated([]int64{-1}, []int64{1}, func(a, b int64) int64 { return a + b }, Options{}); err == nil {
+		t.Fatal("expected domain error for negative key")
+	}
+	if _, err := BuildAnnotated([]int64{5}, []int64{1}, func(a, b int64) int64 { return a + b }, Options{}); err == nil {
+		t.Fatal("expected domain error for key > n")
+	}
+}

@@ -1,0 +1,121 @@
+package mst
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks of the raw data structure, separating build and probe
+// cost from the window operator around it (the §6.6 methodology).
+
+func benchKeys(n int) []int64 {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(int64(n))
+	}
+	return keys
+}
+
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		keys := benchKeys(n)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(8 * n))
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(keys, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCountBelow(b *testing.B) {
+	n := 1_000_000
+	keys := benchKeys(n)
+	frame := n / 20
+	for _, cfg := range []struct {
+		name string
+		opt  Options
+	}{
+		{"cascading", Options{}},
+		{"noCascading", Options{NoCascading: true}},
+		{"f2k1", Options{Fanout: 2, SampleEvery: 1}},
+	} {
+		tree, err := Build(keys, cfg.opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				row := i % n
+				lo := row - frame
+				if lo < 0 {
+					lo = 0
+				}
+				sink += tree.CountBelow(lo, row+1, keys[row])
+			}
+			if sink < 0 {
+				b.Fatal("impossible")
+			}
+		})
+	}
+}
+
+func BenchmarkSelectKth(b *testing.B) {
+	n := 1_000_000
+	// Permutation-array payload, as percentiles use (§4.5).
+	perm := make([]int64, n)
+	for i := range perm {
+		perm[i] = int64(i)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	tree, err := Build(perm, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := n / 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row := i % (n - frame)
+		if _, ok := tree.SelectKth(int64(row), int64(row+frame), frame/2); !ok {
+			b.Fatal("select failed")
+		}
+	}
+}
+
+func BenchmarkAnnotatedAggBelow(b *testing.B) {
+	n := 500_000
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(int64(n) / 4)
+	}
+	prev := prevIdcsRef(vals)
+	aggVals := make([]float64, n)
+	for i, v := range vals {
+		aggVals[i] = float64(v)
+	}
+	at, err := BuildAnnotated(prev, aggVals, func(a, b float64) float64 { return a + b }, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := n / 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row := i % n
+		lo := row - frame
+		if lo < 0 {
+			lo = 0
+		}
+		at.AggBelow(lo, row+1, int64(lo)+1)
+	}
+}

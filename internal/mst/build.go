@@ -1,0 +1,312 @@
+package mst
+
+import (
+	"holistic/internal/parallel"
+)
+
+// buildTree constructs the tree levels bottom-up (§4.2): level l is produced
+// by f-way merges of the runs of level l-1. The merge keeps, every k
+// outputs, a snapshot of how many elements it has consumed from each child
+// run — these snapshots are exactly the fractional-cascading pointers of
+// Figure 4, produced "as a byproduct of constructing the merge sort tree by
+// persisting the input iterators used during the merge steps".
+//
+// Lower levels have many runs, so each run is merged by its own task; upper
+// levels have few runs, so the merge itself is split into independent output
+// pieces whose child splits are found with a rank binary search over the
+// value domain (§5.2).
+func buildTree[P payload](base []P, opt Options) *tree[P] {
+	n := len(base)
+	t := &tree[P]{n: n, f: opt.Fanout, k: opt.SampleEvery}
+	t.levels = [][]P{base}
+	t.samples = [][]int32{nil}
+	t.stride = []int{0}
+	t.effLen = []int{1}
+	if n <= 1 {
+		return t
+	}
+	cascade := !opt.NoCascading
+	for rl := 1; rl < n; {
+		rl *= t.f
+		if rl > n {
+			rl = n
+		}
+		level := len(t.levels)
+		t.effLen = append(t.effLen, rl)
+		out := make([]P, n)
+		t.levels = append(t.levels, out)
+		numRuns := (n + rl - 1) / rl
+		var samples []int32
+		stride := 0
+		if cascade {
+			stride = (rl/t.k + 1) * t.f
+			samples = make([]int32, numRuns*stride)
+		}
+		t.samples = append(t.samples, samples)
+		t.stride = append(t.stride, stride)
+
+		workers := parallel.Workers()
+		if opt.Serial || numRuns >= workers || workers == 1 {
+			mergeRuns := func(r int) { t.mergeRun(level, r, samples, stride) }
+			if opt.Serial {
+				for r := 0; r < numRuns; r++ {
+					mergeRuns(r)
+				}
+			} else {
+				parallel.ForEach(numRuns, mergeRuns)
+			}
+		} else {
+			for r := 0; r < numRuns; r++ {
+				t.mergeRunParallel(level, r, samples, stride, workers)
+			}
+		}
+		if rl >= n {
+			break
+		}
+	}
+	return t
+}
+
+// children returns the child runs of run r at the given level.
+func (t *tree[P]) children(level, r int) [][]P {
+	childLen := t.effLen[level-1]
+	runStart := r * t.effLen[level]
+	runEnd := runStart + t.effLen[level]
+	if runEnd > t.n {
+		runEnd = t.n
+	}
+	kids := make([][]P, 0, t.f)
+	for s := runStart; s < runEnd; s += childLen {
+		e := s + childLen
+		if e > runEnd {
+			e = runEnd
+		}
+		kids = append(kids, t.levels[level-1][s:e])
+	}
+	return kids
+}
+
+// mergeRun merges the children of run r at the given level into the level's
+// output array, recording cascading samples.
+func (t *tree[P]) mergeRun(level, r int, samples []int32, stride int) {
+	runStart := r * t.effLen[level]
+	runEnd := runStart + t.effLen[level]
+	if runEnd > t.n {
+		runEnd = t.n
+	}
+	kids := t.children(level, r)
+	consumed := make([]int32, len(kids))
+	var sampleRun []int32
+	if samples != nil {
+		sampleRun = samples[r*stride : (r+1)*stride]
+	}
+	t.mergePiece(t.levels[level][runStart:runEnd], kids, consumed, sampleRun, 0, runEnd-runStart)
+}
+
+// mergeRunParallel splits the merge of run r into `workers` output pieces;
+// the per-child split positions for each piece boundary are found with a
+// rank search over the value domain, so pieces merge independently
+// (Francis et al. 1993, cited in §5.2).
+func (t *tree[P]) mergeRunParallel(level, r int, samples []int32, stride, workers int) {
+	runStart := r * t.effLen[level]
+	runEnd := runStart + t.effLen[level]
+	if runEnd > t.n {
+		runEnd = t.n
+	}
+	length := runEnd - runStart
+	kids := t.children(level, r)
+	pieces := workers
+	if pieces > length/1024 {
+		pieces = length / 1024
+	}
+	if pieces <= 1 {
+		t.mergeRun(level, r, samples, stride)
+		return
+	}
+	splits := make([][]int32, pieces+1)
+	splits[0] = make([]int32, len(kids))
+	splits[pieces] = make([]int32, len(kids))
+	for c, kid := range kids {
+		splits[pieces][c] = int32(len(kid))
+	}
+	for p := 1; p < pieces; p++ {
+		splits[p] = findSplit(kids, length*p/pieces)
+	}
+	var sampleRun []int32
+	if samples != nil {
+		sampleRun = samples[r*stride : (r+1)*stride]
+	}
+	out := t.levels[level][runStart:runEnd]
+	parallel.ForEach(pieces, func(p int) {
+		t0 := length * p / pieces
+		t1 := length * (p + 1) / pieces
+		if p == pieces-1 {
+			t1 = length
+		}
+		consumed := make([]int32, len(kids))
+		copy(consumed, splits[p])
+		t.mergePiece(out, kids, consumed, sampleRun, t0, t1)
+	})
+}
+
+// mergePiece merges outputs [t0, t1) of the run (given the consumed counts
+// at t0) using an f-way heap ordered by (value, child index) — the child
+// index tiebreak keeps the merge stable. Samples are recorded at every
+// output position that is a multiple of k, plus the final boundary.
+func (t *tree[P]) mergePiece(out []P, kids [][]P, consumed []int32, sampleRun []int32, t0, t1 int) {
+	type head struct {
+		v P
+		c int32
+	}
+	heap := make([]head, 0, len(kids))
+	push := func(h head) {
+		heap = append(heap, h)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p].v < heap[i].v || (heap[p].v == heap[i].v && heap[p].c <= heap[i].c) {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	popMin := func() head {
+		h := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(heap) && (heap[l].v < heap[m].v || (heap[l].v == heap[m].v && heap[l].c < heap[m].c)) {
+				m = l
+			}
+			if r < len(heap) && (heap[r].v < heap[m].v || (heap[r].v == heap[m].v && heap[r].c < heap[m].c)) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+		return h
+	}
+	for c, kid := range kids {
+		if int(consumed[c]) < len(kid) {
+			push(head{kid[consumed[c]], int32(c)})
+		}
+	}
+	k := t.k
+	f := t.f
+	for p := t0; p < t1; p++ {
+		if sampleRun != nil && p%k == 0 {
+			copy(sampleRun[(p/k)*f:(p/k)*f+len(kids)], consumed)
+		}
+		h := popMin()
+		out[p] = h.v
+		consumed[h.c]++
+		kid := kids[h.c]
+		if int(consumed[h.c]) < len(kid) {
+			push(head{kid[consumed[h.c]], h.c})
+		}
+	}
+	if sampleRun != nil && t1 == len(out) && t1%k == 0 {
+		copy(sampleRun[(t1/k)*f:(t1/k)*f+len(kids)], consumed)
+	}
+}
+
+// findSplit returns, for every child run, how many of its elements belong to
+// the first want outputs of the stable merge of kids. It binary searches the
+// value domain for the smallest value v such that at least `want` elements
+// are <= v, then assigns the elements equal to v to children in child order
+// (matching the merge's tiebreak).
+func findSplit[P payload](kids [][]P, want int) []int32 {
+	split := make([]int32, len(kids))
+	if want <= 0 {
+		return split
+	}
+	var lo, hi int64
+	first := true
+	for _, kid := range kids {
+		if len(kid) == 0 {
+			continue
+		}
+		if first {
+			lo, hi = int64(kid[0]), int64(kid[len(kid)-1])
+			first = false
+			continue
+		}
+		if int64(kid[0]) < lo {
+			lo = int64(kid[0])
+		}
+		if int64(kid[len(kid)-1]) > hi {
+			hi = int64(kid[len(kid)-1])
+		}
+	}
+	// Smallest v with countLessOrEqual(v) >= want. Unsigned midpoint
+	// arithmetic avoids overflow on extreme domains.
+	for lo < hi {
+		mid := lo + int64((uint64(hi)-uint64(lo))>>1)
+		cnt := 0
+		for _, kid := range kids {
+			cnt += upperBoundP(kid, P(mid))
+		}
+		if cnt >= want {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	v := P(lo)
+	base := 0
+	for c, kid := range kids {
+		split[c] = int32(lowerBoundP(kid, v))
+		base += int(split[c])
+	}
+	rem := want - base
+	for c, kid := range kids {
+		if rem <= 0 {
+			break
+		}
+		eq := upperBoundP(kid, v) - int(split[c])
+		if eq > rem {
+			eq = rem
+		}
+		split[c] += int32(eq)
+		rem -= eq
+	}
+	return split
+}
+
+// lowerBoundP returns the number of elements of the sorted slice a that are
+// strictly smaller than x.
+func lowerBoundP[P payload](a []P, x P) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBoundP returns the number of elements of the sorted slice a that are
+// smaller than or equal to x.
+func upperBoundP[P payload](a []P, x P) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,155 @@
+package mst
+
+import "fmt"
+
+// countBelow counts the elements at positions [lo, hi) of the base array
+// whose value is strictly smaller than threshold. Callers guarantee
+// 0 <= lo < hi <= n.
+//
+// The range is pieced together from sorted runs top-down (Figure 2): runs
+// completely inside [lo, hi) contribute their rank of threshold directly;
+// the at most two runs overlapping a range edge are descended into. With
+// fractional cascading the rank inside a child run is re-located inside a
+// window of at most k elements around the parent's sampled pointer
+// (Figure 3), so only the top-level binary search pays O(log n).
+func (t *tree[P]) countBelow(lo, hi int, threshold P) int {
+	top := t.top()
+	rank := lowerBoundP(t.run(top, 0), threshold)
+	return t.countDesc(top, 0, lo, hi, rank, threshold)
+}
+
+// countDesc counts elements < threshold at absolute base positions [lo, hi)
+// within run r of the given level. rank must be the exact number of
+// elements < threshold inside that run.
+func (t *tree[P]) countDesc(level, r, lo, hi, rank int, threshold P) int {
+	runStart := r * t.effLen[level]
+	runEnd := runStart + t.effLen[level]
+	if runEnd > t.n {
+		runEnd = t.n
+	}
+	if lo <= runStart && hi >= runEnd {
+		return rank
+	}
+	// A partially overlapped run is never a leaf: level-0 runs hold exactly
+	// one element and are either fully covered or skipped by the caller.
+	total := 0
+	childLen := t.effLen[level-1]
+	for c, cs := 0, runStart; cs < runEnd; c, cs = c+1, cs+childLen {
+		ce := cs + childLen
+		if ce > runEnd {
+			ce = runEnd
+		}
+		if hi <= cs || lo >= ce {
+			continue
+		}
+		childRank := t.childRank(level, r, rank, c, threshold)
+		if lo <= cs && hi >= ce {
+			total += childRank
+		} else {
+			total += t.countDesc(level-1, r*t.f+c, lo, hi, childRank, threshold)
+		}
+	}
+	return total
+}
+
+// childRank returns the number of elements < threshold in child run c of run
+// r at the given level. rank must be the exact number of elements
+// < threshold in the parent run; the sampled cascading pointer at the last
+// sample point at or before rank bounds the child position to a window of at
+// most rank mod k elements (§4.2).
+func (t *tree[P]) childRank(level, r, rank, c int, threshold P) int {
+	kid := t.run(level-1, r*t.f+c)
+	samples := t.samples[level]
+	if samples == nil {
+		return lowerBoundP(kid, threshold)
+	}
+	q := rank / t.k
+	base := int(samples[r*t.stride[level]+q*t.f+c])
+	wHi := base + rank - q*t.k
+	if wHi > len(kid) {
+		wHi = len(kid)
+	}
+	return base + lowerBoundP(kid[base:wHi], threshold)
+}
+
+// walkBelow invokes visit for every run contribution the count query for
+// (positions [lo, hi), values < threshold) decomposes into: visit receives
+// the level, the global index of the run's first element within that level's
+// array, and the number of qualifying elements, which form a prefix of the
+// run. The annotated tree merges per-run prefix aggregates at exactly these
+// points (§4.3).
+func (t *tree[P]) walkBelow(lo, hi int, threshold P, visit func(level, runStart, rank int)) {
+	top := t.top()
+	rank := lowerBoundP(t.run(top, 0), threshold)
+	t.walkDesc(top, 0, lo, hi, rank, threshold, visit)
+}
+
+func (t *tree[P]) walkDesc(level, r, lo, hi, rank int, threshold P, visit func(level, runStart, rank int)) {
+	runStart := r * t.effLen[level]
+	runEnd := runStart + t.effLen[level]
+	if runEnd > t.n {
+		runEnd = t.n
+	}
+	if lo <= runStart && hi >= runEnd {
+		visit(level, runStart, rank)
+		return
+	}
+	childLen := t.effLen[level-1]
+	for c, cs := 0, runStart; cs < runEnd; c, cs = c+1, cs+childLen {
+		ce := cs + childLen
+		if ce > runEnd {
+			ce = runEnd
+		}
+		if hi <= cs || lo >= ce {
+			continue
+		}
+		childRank := t.childRank(level, r, rank, c, threshold)
+		if lo <= cs && hi >= ce {
+			visit(level-1, cs, childRank)
+		} else {
+			t.walkDesc(level-1, r*t.f+c, lo, hi, childRank, threshold, visit)
+		}
+	}
+}
+
+// selectKth returns the base position of the i-th entry (0-based, in
+// position order) whose value v satisfies vLo <= v < vHi. The descent
+// follows §4.5 / Figure 7: at every level, count the qualifying elements per
+// child run (two cascaded searches each) and descend into the child that
+// straddles the running total.
+func (t *tree[P]) selectKth(vLo, vHi P, i int) (int, bool) {
+	top := t.top()
+	run0 := t.run(top, 0)
+	rLo := lowerBoundP(run0, vLo)
+	rHi := lowerBoundP(run0, vHi)
+	if i >= rHi-rLo {
+		return 0, false
+	}
+	level, r := top, 0
+	for level > 0 {
+		runStart := r * t.effLen[level]
+		runEnd := runStart + t.effLen[level]
+		if runEnd > t.n {
+			runEnd = t.n
+		}
+		numKids := (runEnd - runStart + t.effLen[level-1] - 1) / t.effLen[level-1]
+		descended := false
+		for c := 0; c < numKids; c++ {
+			cLo := t.childRank(level, r, rLo, c, vLo)
+			cHi := t.childRank(level, r, rHi, c, vHi)
+			if cnt := cHi - cLo; i < cnt {
+				rLo, rHi = cLo, cHi
+				r = r*t.f + c
+				level--
+				descended = true
+				break
+			} else {
+				i -= cnt
+			}
+		}
+		if !descended {
+			panic(fmt.Sprintf("mst: selectKth descent lost element (level=%d run=%d i=%d)", level, r, i))
+		}
+	}
+	return r, true
+}

@@ -1,0 +1,145 @@
+package mst
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkInvariants validates the structural invariants of a built tree:
+// every level is a permutation of the base multiset, runs are sorted, the
+// top level is one fully sorted run, and every cascading sample really is
+// the merge's consumed-count snapshot.
+func checkInvariants[P payload](t *testing.T, tr *tree[P]) {
+	t.Helper()
+	n := tr.n
+	base := map[P]int{}
+	for _, v := range tr.levels[0] {
+		base[v]++
+	}
+	for l := 1; l < len(tr.levels); l++ {
+		// Same multiset.
+		seen := map[P]int{}
+		for _, v := range tr.levels[l] {
+			seen[v]++
+		}
+		if len(seen) != len(base) {
+			t.Fatalf("level %d: element multiset changed", l)
+		}
+		for v, c := range base {
+			if seen[v] != c {
+				t.Fatalf("level %d: count of %v is %d, want %d", l, v, seen[v], c)
+			}
+		}
+		// Runs sorted.
+		rl := tr.effLen[l]
+		for start := 0; start < n; start += rl {
+			end := start + rl
+			if end > n {
+				end = n
+			}
+			run := tr.levels[l][start:end]
+			for i := 1; i < len(run); i++ {
+				if run[i-1] > run[i] {
+					t.Fatalf("level %d run at %d not sorted", l, start)
+				}
+			}
+		}
+		// Samples: for run r, sample s covers the prefix of length s·k; the
+		// recorded consumed counts must equal, per child, the number of its
+		// elements among the lexicographically smallest s·k elements of the
+		// merge — verified by re-merging.
+		if tr.samples[l] == nil {
+			continue
+		}
+		numRuns := (n + rl - 1) / rl
+		for r := 0; r < numRuns; r++ {
+			kids := tr.children(l, r)
+			runStart := r * rl
+			runEnd := runStart + rl
+			if runEnd > n {
+				runEnd = n
+			}
+			length := runEnd - runStart
+			// Reference merge with consumed tracking.
+			pos := make([]int, len(kids))
+			for p := 0; p <= length; p++ {
+				if p%tr.k == 0 {
+					sample := tr.samples[l][r*tr.stride[l]+(p/tr.k)*tr.f:]
+					for c := range kids {
+						if int(sample[c]) != pos[c] {
+							t.Fatalf("level %d run %d sample at prefix %d child %d: %d, want %d",
+								l, r, p, c, sample[c], pos[c])
+						}
+					}
+				}
+				if p == length {
+					break
+				}
+				// Take the stable minimum head.
+				best := -1
+				for c, kid := range kids {
+					if pos[c] >= len(kid) {
+						continue
+					}
+					if best == -1 || kid[pos[c]] < kids[best][pos[best]] {
+						best = c
+					}
+				}
+				pos[best]++
+			}
+		}
+	}
+	if len(tr.levels) > 1 {
+		top := tr.levels[tr.top()]
+		for i := 1; i < len(top); i++ {
+			if top[i-1] > top[i] {
+				t.Fatal("top level not fully sorted")
+			}
+		}
+	}
+}
+
+func TestTreeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{1, 2, 31, 32, 33, 100, 1023, 1024, 1025} {
+		for _, opt := range []Options{
+			{},
+			{Fanout: 2, SampleEvery: 1},
+			{Fanout: 3, SampleEvery: 5},
+			{Fanout: 4, SampleEvery: 2, Serial: true},
+			{Fanout: 7, SampleEvery: 3, Force64: true},
+		} {
+			keys := randKeys(rng, n, int64(n)/2+1) // duplicates guaranteed
+			tree, err := Build(keys, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tree.t32 != nil {
+				checkInvariants(t, tree.t32)
+			} else {
+				checkInvariants(t, tree.t64)
+			}
+		}
+	}
+}
+
+// TestSampleFormulaMatchesPaper checks the §5.1 element-count formula:
+// ⌈log_f n⌉·n payload elements.
+func TestSampleFormulaMatchesPaper(t *testing.T) {
+	for _, c := range []struct{ n, f, wantLevels int }{
+		{1024, 2, 10}, {1024, 32, 2}, {33, 32, 2}, {32, 32, 1}, {1000000, 32, 4},
+	} {
+		keys := make([]int64, c.n)
+		tree, err := Build(keys, Options{Fanout: c.f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tree.Stats()
+		if s.Levels != c.wantLevels+1 { // +1 for the base copy
+			t.Fatalf("n=%d f=%d: levels = %d, want %d", c.n, c.f, s.Levels, c.wantLevels+1)
+		}
+		if s.Elements != s.Levels*c.n {
+			t.Fatalf("n=%d f=%d: elements = %d, want %d", c.n, c.f, s.Elements, s.Levels*c.n)
+		}
+	}
+}

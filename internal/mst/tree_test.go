@@ -1,0 +1,430 @@
+package mst
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"holistic/internal/parallel"
+)
+
+// bruteCountBelow is the O(n) reference for CountBelow.
+func bruteCountBelow(keys []int64, lo, hi int, threshold int64) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(keys) {
+		hi = len(keys)
+	}
+	cnt := 0
+	for i := lo; i < hi; i++ {
+		if keys[i] < threshold {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// bruteSelectKth is the O(n) reference for SelectKth.
+func bruteSelectKth(keys []int64, vLo, vHi int64, k int) (int, bool) {
+	for i, v := range keys {
+		if v >= vLo && v < vHi {
+			if k == 0 {
+				return i, true
+			}
+			k--
+		}
+	}
+	return 0, false
+}
+
+func randKeys(rng *rand.Rand, n int, domain int64) []int64 {
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(domain)
+	}
+	return keys
+}
+
+func optVariants() []Options {
+	return []Options{
+		{},                           // defaults f=k=32
+		{Fanout: 2, SampleEvery: 1},  // classic binary tree, dense pointers
+		{Fanout: 2, SampleEvery: 7},  // odd sampling distance
+		{Fanout: 4, SampleEvery: 16}, //
+		{Fanout: 3, SampleEvery: 5},  // non-power-of-two fanout
+		{Fanout: 32, SampleEvery: 32, Serial: true},
+		{NoCascading: true}, // plain O((log n)^2) queries
+		{Force64: true},     // 64-bit payloads
+		{Fanout: 64, SampleEvery: 4, Force64: true},
+	}
+}
+
+func TestCountBelowAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 7, 31, 32, 33, 100, 1000, 4097} {
+		keys := randKeys(rng, n, int64(n)+1)
+		for _, opt := range optVariants() {
+			tree, err := Build(keys, opt)
+			if err != nil {
+				t.Fatalf("Build(n=%d, %+v): %v", n, opt, err)
+			}
+			for trial := 0; trial < 50; trial++ {
+				lo := rng.Intn(n + 1)
+				hi := lo + rng.Intn(n+1-lo)
+				th := rng.Int63n(int64(n) + 2)
+				got := tree.CountBelow(lo, hi, th)
+				want := bruteCountBelow(keys, lo, hi, th)
+				if got != want {
+					t.Fatalf("CountBelow(n=%d, opt=%+v, lo=%d, hi=%d, th=%d) = %d, want %d",
+						n, opt, lo, hi, th, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCountBelowExhaustiveSmall(t *testing.T) {
+	// Every (lo, hi, threshold) triple on a fixed small input, all options.
+	keys := []int64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4}
+	n := len(keys)
+	for _, opt := range optVariants() {
+		tree, err := Build(keys, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lo := 0; lo <= n; lo++ {
+			for hi := lo; hi <= n; hi++ {
+				for th := int64(0); th <= 10; th++ {
+					got := tree.CountBelow(lo, hi, th)
+					want := bruteCountBelow(keys, lo, hi, th)
+					if got != want {
+						t.Fatalf("opt=%+v lo=%d hi=%d th=%d: got %d want %d", opt, lo, hi, th, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSelectKthAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 5, 32, 33, 257, 1000} {
+		keys := randKeys(rng, n, int64(n))
+		for _, opt := range optVariants() {
+			tree, err := Build(keys, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 80; trial++ {
+				vLo := rng.Int63n(int64(n) + 1)
+				vHi := vLo + rng.Int63n(int64(n)+1-vLo)
+				k := rng.Intn(n + 1)
+				gotPos, gotOK := tree.SelectKth(vLo, vHi, k)
+				wantPos, wantOK := bruteSelectKth(keys, vLo, vHi, k)
+				if gotOK != wantOK || (gotOK && gotPos != wantPos) {
+					t.Fatalf("SelectKth(n=%d, opt=%+v, vLo=%d, vHi=%d, k=%d) = (%d,%v), want (%d,%v)",
+						n, opt, vLo, vHi, k, gotPos, gotOK, wantPos, wantOK)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectKthExhaustiveSmall(t *testing.T) {
+	keys := []int64{5, 0, 2, 7, 2, 2, 9, 1, 4, 4, 6, 8, 0, 3}
+	n := len(keys)
+	for _, opt := range optVariants() {
+		tree, err := Build(keys, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for vLo := int64(0); vLo <= 10; vLo++ {
+			for vHi := vLo; vHi <= 10; vHi++ {
+				for k := 0; k <= n; k++ {
+					gotPos, gotOK := tree.SelectKth(vLo, vHi, k)
+					wantPos, wantOK := bruteSelectKth(keys, vLo, vHi, k)
+					if gotOK != wantOK || (gotOK && gotPos != wantPos) {
+						t.Fatalf("opt=%+v vLo=%d vHi=%d k=%d: got (%d,%v) want (%d,%v)",
+							opt, vLo, vHi, k, gotPos, gotOK, wantPos, wantOK)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	keys := randKeys(rng, 500, 50)
+	tree, err := Build(keys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.Intn(501)
+		hi := lo + rng.Intn(501-lo)
+		vLo := rng.Int63n(51)
+		vHi := rng.Int63n(51)
+		want := 0
+		for i := lo; i < hi && i < len(keys); i++ {
+			if keys[i] >= vLo && keys[i] < vHi {
+				want++
+			}
+		}
+		if got := tree.CountRange(lo, hi, vLo, vHi); got != want {
+			t.Fatalf("CountRange(%d,%d,%d,%d) = %d, want %d", lo, hi, vLo, vHi, got, want)
+		}
+	}
+}
+
+// TestCountBelowProperty is a quick-check property: for random inputs and
+// random queries, the MST count always equals the brute-force count.
+func TestCountBelowProperty(t *testing.T) {
+	prop := func(raw []uint16, loSeed, hiSeed, thSeed uint16) bool {
+		n := len(raw)
+		keys := make([]int64, n)
+		for i, v := range raw {
+			keys[i] = int64(v % 97)
+		}
+		tree, err := Build(keys, Options{Fanout: 4, SampleEvery: 3})
+		if err != nil {
+			return false
+		}
+		lo := 0
+		hi := 0
+		if n > 0 {
+			lo = int(loSeed) % (n + 1)
+			hi = lo + int(hiSeed)%(n+1-lo)
+		}
+		th := int64(thSeed % 100)
+		return tree.CountBelow(lo, hi, th) == bruteCountBelow(keys, lo, hi, th)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMonotoneCountProperty checks the structural invariants of CountBelow:
+// monotone in the threshold and additive over position ranges.
+func TestMonotoneCountProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	keys := randKeys(rng, 777, 100)
+	tree, err := Build(keys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		lo := rng.Intn(778)
+		hi := lo + rng.Intn(778-lo)
+		mid := lo + rng.Intn(hi-lo+1)
+		t1 := rng.Int63n(101)
+		t2 := t1 + rng.Int63n(101-t1)
+		c1 := tree.CountBelow(lo, hi, t1)
+		c2 := tree.CountBelow(lo, hi, t2)
+		if c1 > c2 {
+			t.Fatalf("count not monotone in threshold: %d@%d > %d@%d", c1, t1, c2, t2)
+		}
+		if tree.CountBelow(lo, mid, t1)+tree.CountBelow(mid, hi, t1) != c1 {
+			t.Fatalf("count not additive over [%d,%d)+[%d,%d)", lo, mid, mid, hi)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build([]int64{1}, Options{Fanout: 1}); err == nil {
+		t.Fatal("expected error for fanout 1")
+	}
+	if _, err := Build([]int64{1}, Options{SampleEvery: -1}); err == nil {
+		t.Fatal("expected error for negative sample distance")
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	empty, err := Build(nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.CountBelow(0, 0, 5); got != 0 {
+		t.Fatalf("empty tree count = %d", got)
+	}
+	if _, ok := empty.SelectKth(0, 10, 0); ok {
+		t.Fatal("empty tree select returned ok")
+	}
+	single, err := Build([]int64{7}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := single.CountBelow(0, 1, 8); got != 1 {
+		t.Fatalf("single count below 8 = %d, want 1", got)
+	}
+	if got := single.CountBelow(0, 1, 7); got != 0 {
+		t.Fatalf("single count below 7 = %d, want 0", got)
+	}
+	if pos, ok := single.SelectKth(7, 8, 0); !ok || pos != 0 {
+		t.Fatalf("single select = (%d,%v)", pos, ok)
+	}
+}
+
+func Test32BitSelection(t *testing.T) {
+	small, err := Build([]int64{1, 2, 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !small.Is32Bit() {
+		t.Fatal("small-domain tree should use 32-bit payloads")
+	}
+	big, err := Build([]int64{1, 1 << 40}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Is32Bit() {
+		t.Fatal("wide-domain tree must use 64-bit payloads")
+	}
+	if got := big.CountBelow(0, 2, 1<<40); got != 1 {
+		t.Fatalf("wide count = %d", got)
+	}
+	forced, err := Build([]int64{1, 2, 3}, Options{Force64: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Is32Bit() {
+		t.Fatal("Force64 must produce a 64-bit tree")
+	}
+}
+
+func TestValue(t *testing.T) {
+	keys := []int64{4, 8, 15, 16, 23, 42}
+	tree, err := Build(keys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range keys {
+		if got := tree.Value(i); got != want {
+			t.Fatalf("Value(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := 10_000
+	rng := rand.New(rand.NewSource(5))
+	keys := randKeys(rng, n, int64(n))
+	tree, err := Build(keys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tree.Stats()
+	// ceil(log_32 10000) = 3 levels above the base copy? 32^3 = 32768 >= n,
+	// 32^2 = 1024 < n, so levels = base + 3.
+	if s.Levels != 4 {
+		t.Fatalf("levels = %d, want 4", s.Levels)
+	}
+	if s.Elements != 4*n {
+		t.Fatalf("elements = %d, want %d", s.Elements, 4*n)
+	}
+	if s.ElementBytes != 4 {
+		t.Fatalf("element bytes = %d, want 4 (32-bit path)", s.ElementBytes)
+	}
+	if s.Pointers == 0 || s.Bytes == 0 {
+		t.Fatalf("stats missing pointer accounting: %+v", s)
+	}
+	noCascade, err := Build(keys, Options{NoCascading: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := noCascade.Stats().Pointers; p != 0 {
+		t.Fatalf("no-cascading tree reports %d pointers", p)
+	}
+}
+
+func TestDuplicateHeavyInput(t *testing.T) {
+	// The prevIdcs array of a distinct count over a mostly-unique column is
+	// almost entirely zeros (§5.3) — exercise that shape explicitly.
+	n := 5000
+	keys := make([]int64, n)
+	for i := 100; i < n; i += 500 {
+		keys[i] = int64(i)
+	}
+	for _, opt := range []Options{{}, {NoCascading: true}, {Fanout: 2, SampleEvery: 1}} {
+		tree, err := Build(keys, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(6))
+		for trial := 0; trial < 100; trial++ {
+			lo := rng.Intn(n + 1)
+			hi := lo + rng.Intn(n+1-lo)
+			th := rng.Int63n(int64(n))
+			if got, want := tree.CountBelow(lo, hi, th), bruteCountBelow(keys, lo, hi, th); got != want {
+				t.Fatalf("opt=%+v lo=%d hi=%d th=%d: got %d want %d", opt, lo, hi, th, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelBuildPaths forces a large worker pool so the within-run
+// parallel multiway merge (splitter search, piece merging, piece-local
+// sample recording) actually executes, then validates counts and the
+// structural invariants.
+func TestParallelBuildPaths(t *testing.T) {
+	prev := parallel.SetMaxWorkers(8)
+	defer parallel.SetMaxWorkers(prev)
+	rng := rand.New(rand.NewSource(55))
+	for _, n := range []int{1 << 15, 1<<15 + 7777} {
+		keys := randKeys(rng, n, 64) // few distinct values stress findSplit ties
+		for _, opt := range []Options{{Fanout: 2, SampleEvery: 4}, {}} {
+			tree, err := Build(keys, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 200; trial++ {
+				lo := rng.Intn(n + 1)
+				hi := lo + rng.Intn(n+1-lo)
+				th := rng.Int63n(66)
+				if got, want := tree.CountBelow(lo, hi, th), bruteCountBelow(keys, lo, hi, th); got != want {
+					t.Fatalf("n=%d opt=%+v [%d,%d) th=%d: got %d want %d", n, opt, lo, hi, th, got, want)
+				}
+			}
+			if tree.t32 != nil {
+				checkInvariants(t, tree.t32)
+			} else {
+				checkInvariants(t, tree.t64)
+			}
+		}
+	}
+}
+
+// TestConcurrentProbes hammers one shared tree from many goroutines — the
+// probe phase is embarrassingly parallel because the tree is read-only
+// after construction (§4.1). Run with -race.
+func TestConcurrentProbes(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	n := 20_000
+	keys := randKeys(rng, n, int64(n))
+	tree, err := Build(keys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := parallel.SetMaxWorkers(8)
+	defer parallel.SetMaxWorkers(prev)
+	errs := make([]error, 8)
+	parallel.ForEach(8, func(g int) {
+		r := rand.New(rand.NewSource(int64(g)))
+		for trial := 0; trial < 2000; trial++ {
+			lo := r.Intn(n + 1)
+			hi := lo + r.Intn(n+1-lo)
+			th := r.Int63n(int64(n) + 1)
+			if got, want := tree.CountBelow(lo, hi, th), bruteCountBelow(keys, lo, hi, th); got != want {
+				errs[g] = fmt.Errorf("goroutine %d: count[%d,%d)<%d = %d, want %d", g, lo, hi, th, got, want)
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package ostree
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// reference is a sorted-slice multiset used as the model for property tests.
+type reference struct{ keys []int64 }
+
+func (r *reference) insert(k int64) {
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] > k })
+	r.keys = append(r.keys, 0)
+	copy(r.keys[i+1:], r.keys[i:])
+	r.keys[i] = k
+}
+
+func (r *reference) delete(k int64) bool {
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= k })
+	if i == len(r.keys) || r.keys[i] != k {
+		return false
+	}
+	r.keys = append(r.keys[:i], r.keys[i+1:]...)
+	return true
+}
+
+func (r *reference) countLess(k int64) int {
+	return sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= k })
+}
+
+func checkAgainstReference(t *testing.T, tr *Tree, ref *reference) {
+	t.Helper()
+	if tr.Len() != len(ref.keys) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ref.keys))
+	}
+	for i, want := range ref.keys {
+		got, ok := tr.Kth(i)
+		if !ok || got != want {
+			t.Fatalf("Kth(%d) = (%d,%v), want %d (ref=%v)", i, got, ok, want, ref.keys)
+		}
+	}
+	if _, ok := tr.Kth(len(ref.keys)); ok {
+		t.Fatal("Kth past the end must return !ok")
+	}
+	if _, ok := tr.Kth(-1); ok {
+		t.Fatal("Kth(-1) must return !ok")
+	}
+}
+
+func TestInsertKthSmall(t *testing.T) {
+	tr := &Tree{}
+	ref := &reference{}
+	for _, k := range []int64{5, 1, 9, 1, 7, 5, 5, 0, 3, 8, 2, 2} {
+		tr.Insert(k)
+		ref.insert(k)
+	}
+	checkAgainstReference(t, tr, ref)
+	if got := tr.CountLess(5); got != ref.countLess(5) {
+		t.Fatalf("CountLess(5) = %d, want %d", got, ref.countLess(5))
+	}
+	if got := tr.CountLessOrEqual(5); got != 9 {
+		t.Fatalf("CountLessOrEqual(5) = %d, want 9", got)
+	}
+}
+
+func TestRandomOpsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := &Tree{}
+	ref := &reference{}
+	for op := 0; op < 30000; op++ {
+		switch {
+		case len(ref.keys) == 0 || rng.Intn(3) != 0:
+			k := rng.Int63n(200)
+			tr.Insert(k)
+			ref.insert(k)
+		default:
+			k := rng.Int63n(220) // sometimes absent
+			gotOK := tr.Delete(k)
+			wantOK := ref.delete(k)
+			if gotOK != wantOK {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, k, gotOK, wantOK)
+			}
+		}
+		if op%500 == 0 {
+			checkAgainstReference(t, tr, ref)
+		}
+		if op%100 == 0 {
+			k := rng.Int63n(220)
+			if got, want := tr.CountLess(k), ref.countLess(k); got != want {
+				t.Fatalf("op %d: CountLess(%d) = %d, want %d", op, k, got, want)
+			}
+		}
+	}
+	checkAgainstReference(t, tr, ref)
+}
+
+func TestManyNodesDeepTree(t *testing.T) {
+	// Force several B-tree levels and then drain the tree completely,
+	// exercising all the borrow/merge paths.
+	rng := rand.New(rand.NewSource(2))
+	tr := &Tree{}
+	keys := make([]int64, 50000)
+	for i := range keys {
+		keys[i] = rng.Int63n(5000)
+		tr.Insert(keys[i])
+	}
+	sorted := slices.Clone(keys)
+	slices.Sort(sorted)
+	for _, i := range []int{0, 1, len(sorted) / 2, len(sorted) - 1} {
+		if got, ok := tr.Kth(i); !ok || got != sorted[i] {
+			t.Fatalf("Kth(%d) = (%d,%v), want %d", i, got, ok, sorted[i])
+		}
+	}
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for i, k := range keys {
+		if !tr.Delete(k) {
+			t.Fatalf("delete %d of key %d failed", i, k)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("tree not empty after draining: %d", tr.Len())
+	}
+	if tr.Delete(1) {
+		t.Fatal("delete on empty tree returned true")
+	}
+}
+
+func TestSequentialAscendingDescending(t *testing.T) {
+	for _, desc := range []bool{false, true} {
+		tr := &Tree{}
+		n := 10000
+		for i := 0; i < n; i++ {
+			k := int64(i)
+			if desc {
+				k = int64(n - i)
+			}
+			tr.Insert(k)
+		}
+		for i := 0; i < n; i++ {
+			want := int64(i)
+			if desc {
+				want = int64(i + 1)
+			}
+			if got, ok := tr.Kth(i); !ok || got != want {
+				t.Fatalf("desc=%v Kth(%d) = (%d,%v), want %d", desc, i, got, ok, want)
+			}
+		}
+	}
+}
+
+func TestSlidingWindowUsage(t *testing.T) {
+	// The competitor's actual access pattern: maintain a window of w keys,
+	// query the median every step.
+	rng := rand.New(rand.NewSource(3))
+	n, w := 5000, 97
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000)
+	}
+	tr := &Tree{}
+	for i := 0; i < n; i++ {
+		tr.Insert(vals[i])
+		if i >= w {
+			if !tr.Delete(vals[i-w]) {
+				t.Fatalf("delete of departing key failed at %d", i)
+			}
+		}
+		lo := max(0, i-w+1)
+		window := slices.Clone(vals[lo : i+1])
+		slices.Sort(window)
+		k := len(window) / 2
+		if got, ok := tr.Kth(k); !ok || got != window[k] {
+			t.Fatalf("step %d: median = (%d,%v), want %d", i, got, ok, window[k])
+		}
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	prop := func(inserts []int16, deletes []uint8) bool {
+		tr := &Tree{}
+		ref := &reference{}
+		for _, v := range inserts {
+			tr.Insert(int64(v))
+			ref.insert(int64(v))
+		}
+		for _, d := range deletes {
+			if len(ref.keys) == 0 {
+				break
+			}
+			k := ref.keys[int(d)%len(ref.keys)]
+			if tr.Delete(k) != ref.delete(k) {
+				return false
+			}
+		}
+		if tr.Len() != len(ref.keys) {
+			return false
+		}
+		for i, want := range ref.keys {
+			if got, ok := tr.Kth(i); !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

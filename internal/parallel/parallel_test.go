@@ -1,0 +1,141 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 99, 20000, 20001, 123456} {
+		for _, ts := range []int{0, 1, 7, 20000} {
+			seen := make([]int32, n)
+			For(n, ts, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d taskSize=%d: index %d visited %d times", n, ts, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForRespectsTaskSize(t *testing.T) {
+	var maxChunk atomic.Int64
+	For(100000, 512, func(lo, hi int) {
+		if int64(hi-lo) > maxChunk.Load() {
+			maxChunk.Store(int64(hi - lo))
+		}
+	})
+	if maxChunk.Load() > 512 {
+		t.Fatalf("chunk of size %d exceeds task size 512", maxChunk.Load())
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	ForEach(100, func(i int) { sum.Add(int64(i)) })
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum.Load())
+	}
+	ForEach(0, func(int) { t.Fatal("must not be called") })
+}
+
+func TestRun(t *testing.T) {
+	var a, b atomic.Bool
+	Run(func() { a.Store(true) }, func() { b.Store(true) })
+	if !a.Load() || !b.Load() {
+		t.Fatal("Run did not execute all thunks")
+	}
+}
+
+func TestSetMaxWorkers(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d after SetMaxWorkers(1)", Workers())
+	}
+	SetMaxWorkers(0)
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS", Workers())
+	}
+	SetMaxWorkers(prev)
+}
+
+func TestForSerialWhenOneWorker(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	// With one worker chunks must arrive in order (serial fallback).
+	last := -1
+	For(100, 10, func(lo, hi int) {
+		if lo <= last {
+			t.Fatalf("out-of-order chunk [%d,%d) after %d", lo, hi, last)
+		}
+		last = lo
+	})
+}
+
+func TestForConcurrentWorkers(t *testing.T) {
+	prev := SetMaxWorkers(8)
+	defer SetMaxWorkers(prev)
+	if Workers() != 8 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+	n := 100_000
+	var sum atomic.Int64
+	For(n, 64, func(lo, hi int) {
+		local := int64(0)
+		for i := lo; i < hi; i++ {
+			local += int64(i)
+		}
+		sum.Add(local)
+	})
+	want := int64(n) * int64(n-1) / 2
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestForEachConcurrentWorkers(t *testing.T) {
+	prev := SetMaxWorkers(6)
+	defer SetMaxWorkers(prev)
+	seen := make([]atomic.Int32, 500)
+	ForEach(500, func(i int) { seen[i].Add(1) })
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("task %d ran %d times", i, seen[i].Load())
+		}
+	}
+}
+
+func TestRunConcurrent(t *testing.T) {
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+	var flags [10]atomic.Bool
+	thunks := make([]func(), len(flags))
+	for i := range thunks {
+		i := i
+		thunks[i] = func() { flags[i].Store(true) }
+	}
+	Run(thunks...)
+	for i := range flags {
+		if !flags[i].Load() {
+			t.Fatalf("thunk %d did not run", i)
+		}
+	}
+}
+
+func TestNegativeSetMaxWorkers(t *testing.T) {
+	prev := SetMaxWorkers(-5)
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatal("negative limit must restore the default")
+	}
+	SetMaxWorkers(prev)
+}

@@ -1,0 +1,206 @@
+package preprocess
+
+import (
+	"cmp"
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortIndicesStable(t *testing.T) {
+	keys := []int64{3, 1, 3, 1, 2, 3, 1}
+	sorted := SortIndicesByKey(keys)
+	want := []int32{1, 3, 6, 4, 0, 2, 5}
+	if !slices.Equal(sorted, want) {
+		t.Fatalf("sorted = %v, want %v", sorted, want)
+	}
+}
+
+func TestPrevIndicesPaperExample(t *testing.T) {
+	// Figure 1: input a b b a c b a c; prevIdcs (unshifted) - - 1 0 - 2 3 4,
+	// shifted by one with "-" -> 0: 0 0 2 1 0 3 4 5.
+	keys := []int64{'a', 'b', 'b', 'a', 'c', 'b', 'a', 'c'}
+	got := PrevIndicesByKey(keys)
+	want := []int64{0, 0, 2, 1, 0, 3, 4, 5}
+	if !slices.Equal(got, want) {
+		t.Fatalf("prevIdcs = %v, want %v", got, want)
+	}
+	// The paper's query: frame = last 5 values (positions 3..7), distinct
+	// count = entries < 3+1 = 4 in prevIdcs[3:8] -> values 1,0,3 -> 3.
+	cnt := 0
+	for _, v := range got[3:8] {
+		if v < 4 {
+			cnt++
+		}
+	}
+	if cnt != 3 {
+		t.Fatalf("distinct count via prevIdcs = %d, want 3", cnt)
+	}
+}
+
+func TestPrevIndicesProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		keys := make([]int64, len(raw))
+		for i, v := range raw {
+			keys[i] = int64(v % 16)
+		}
+		got := PrevIndicesByKey(keys)
+		for i, v := range keys {
+			want := int64(0)
+			for j := i - 1; j >= 0; j-- {
+				if keys[j] == v {
+					want = int64(j) + 1
+					break
+				}
+			}
+			if got[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseRanks(t *testing.T) {
+	keys := []int64{30, 10, 30, 20, 10}
+	sorted := SortIndicesByKey(keys)
+	ranks, distinct := DenseRanks(sorted, func(a, b int) bool { return keys[a] == keys[b] })
+	if distinct != 3 {
+		t.Fatalf("distinct = %d, want 3", distinct)
+	}
+	want := []int64{2, 0, 2, 1, 0}
+	if !slices.Equal(ranks, want) {
+		t.Fatalf("ranks = %v, want %v", ranks, want)
+	}
+}
+
+func TestDenseRanksDescending(t *testing.T) {
+	keys := []int64{30, 10, 30, 20, 10}
+	sorted := SortIndices(len(keys), func(a, b int) int { return cmp.Compare(keys[b], keys[a]) })
+	ranks, distinct := DenseRanks(sorted, func(a, b int) bool { return keys[a] == keys[b] })
+	if distinct != 3 {
+		t.Fatalf("distinct = %d, want 3", distinct)
+	}
+	want := []int64{0, 2, 0, 1, 2}
+	if !slices.Equal(ranks, want) {
+		t.Fatalf("desc ranks = %v, want %v", ranks, want)
+	}
+}
+
+func TestRowNumbersAndPermutationInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]int64, 500)
+	for i := range keys {
+		keys[i] = rng.Int63n(40)
+	}
+	sorted := SortIndicesByKey(keys)
+	rowno := RowNumbers(sorted)
+	perm := Permutation(sorted)
+	for r := range perm {
+		if rowno[perm[r]] != int64(r) {
+			t.Fatalf("rowno and permutation are not inverses at %d", r)
+		}
+	}
+	// Row numbers must order like (key, pos).
+	byRowno := make([]int, len(keys))
+	for pos, r := range rowno {
+		byRowno[r] = pos
+	}
+	for i := 1; i < len(byRowno); i++ {
+		a, b := byRowno[i-1], byRowno[i]
+		if keys[a] > keys[b] || (keys[a] == keys[b] && a >= b) {
+			t.Fatalf("row numbers not consistent with stable order at %d", i)
+		}
+	}
+}
+
+func TestPermutationPaperExample(t *testing.T) {
+	// Figure 6: window-ordered input d a c b e c d (positions 0..6);
+	// sorting alphabetically with position tiebreak yields the permutation
+	// array a:1 b:3 c:2 c:5 d:0 d:6 e:4.
+	keys := []int64{'d', 'a', 'c', 'b', 'e', 'c', 'd'}
+	perm := Permutation(SortIndicesByKey(keys))
+	want := []int64{1, 3, 2, 5, 0, 6, 4}
+	if !slices.Equal(perm, want) {
+		t.Fatalf("perm = %v, want %v", perm, want)
+	}
+	// Median of frame [2,6]: 5 qualifying entries, 3rd smallest. Scanning
+	// perm for entries in [2,6]: 3, 2, 5 -> third is 5 -> value 'c'.
+	cnt := 0
+	for _, pos := range perm {
+		if pos >= 2 && pos <= 6 {
+			cnt++
+			if cnt == 3 {
+				if keys[pos] != 'c' {
+					t.Fatalf("median value = %c, want c", rune(keys[pos]))
+				}
+				break
+			}
+		}
+	}
+}
+
+func TestRemap(t *testing.T) {
+	include := []bool{true, false, false, true, true, false, true}
+	r := NewRemap(include)
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	wantKept := []int{0, 3, 4, 6}
+	for j, want := range wantKept {
+		if got := r.ToOriginal(j); got != want {
+			t.Fatalf("ToOriginal(%d) = %d, want %d", j, got, want)
+		}
+	}
+	cases := []struct{ orig, want int }{
+		{-3, 0}, {0, 0}, {1, 1}, {2, 1}, {3, 1}, {4, 2}, {5, 3}, {6, 3}, {7, 4}, {100, 4},
+	}
+	for _, c := range cases {
+		if got := r.ToFiltered(c.orig); got != c.want {
+			t.Fatalf("ToFiltered(%d) = %d, want %d", c.orig, got, c.want)
+		}
+	}
+	for i, inc := range include {
+		if r.Kept(i) != inc {
+			t.Fatalf("Kept(%d) = %v", i, r.Kept(i))
+		}
+	}
+}
+
+func TestRemapFrameTranslationProperty(t *testing.T) {
+	// Property: the filtered frame [ToFiltered(lo), ToFiltered(hi)) contains
+	// exactly the kept positions of the original frame [lo, hi).
+	prop := func(mask []bool, loSeed, hiSeed uint8) bool {
+		n := len(mask)
+		r := NewRemap(mask)
+		lo := 0
+		hi := 0
+		if n > 0 {
+			lo = int(loSeed) % (n + 1)
+			hi = lo + int(hiSeed)%(n+1-lo)
+		}
+		fLo, fHi := r.ToFiltered(lo), r.ToFiltered(hi)
+		var want []int
+		for i := lo; i < hi; i++ {
+			if mask[i] {
+				want = append(want, i)
+			}
+		}
+		if fHi-fLo != len(want) {
+			return false
+		}
+		for j := fLo; j < fHi; j++ {
+			if r.ToOriginal(j) != want[j-fLo] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

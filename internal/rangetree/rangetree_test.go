@@ -1,0 +1,117 @@
+package rangetree
+
+import (
+	"math/rand"
+	"testing"
+
+	"holistic/internal/mst"
+	"holistic/internal/preprocess"
+)
+
+// bruteDenseBelow counts distinct key values smaller than threshold within
+// window positions [lo, hi).
+func bruteDenseBelow(keys []int64, lo, hi int, threshold int64) int {
+	seen := make(map[int64]struct{})
+	for p := lo; p < hi; p++ {
+		if keys[p] < threshold {
+			seen[keys[p]] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// buildFromKeys preprocesses raw keys into (denseRanks, prevIdcs) and builds
+// the tree, mirroring what the window operator does.
+func buildFromKeys(t *testing.T, keys []int64, opt mst.Options) (*DenseRankTree, []int64) {
+	t.Helper()
+	sorted := preprocess.SortIndicesByKey(keys)
+	ranks, _ := preprocess.DenseRanks(sorted, func(a, b int) bool { return keys[a] == keys[b] })
+	prev := preprocess.PrevIndices(sorted, func(a, b int) bool { return keys[a] == keys[b] })
+	tree, err := New(ranks, prev, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, ranks
+}
+
+func TestDenseRankAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 15, 16, 17, 100, 1000} {
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = rng.Int63n(int64(n)/3 + 2) // plenty of duplicate ranks
+		}
+		tree, ranks := buildFromKeys(t, keys, mst.Options{})
+		for trial := 0; trial < 80; trial++ {
+			lo := rng.Intn(n + 1)
+			hi := lo + rng.Intn(n+1-lo)
+			var rankTh int64
+			if n > 0 {
+				row := rng.Intn(n)
+				rankTh = ranks[row]
+			}
+			got := tree.CountDistinctBelow(lo, hi, rankTh, int64(lo)+1)
+			// Brute force over dense ranks: distinct ranks < rankTh in frame.
+			want := bruteDenseBelow(ranks, lo, hi, rankTh)
+			if got != want {
+				t.Fatalf("n=%d [%d,%d) rankTh=%d: got %d want %d", n, lo, hi, rankTh, got, want)
+			}
+		}
+	}
+}
+
+func TestDenseRankFullQuery(t *testing.T) {
+	// End-to-end: dense_rank() over a running frame equals the brute-force
+	// SQL semantics (1 + number of distinct smaller keys in frame).
+	rng := rand.New(rand.NewSource(2))
+	n := 500
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(50)
+	}
+	tree, ranks := buildFromKeys(t, keys, mst.Options{})
+	for i := 0; i < n; i++ {
+		lo, hi := 0, i+1 // UNBOUNDED PRECEDING .. CURRENT ROW (rows mode)
+		got := 1 + tree.CountDistinctBelow(lo, hi, ranks[i], int64(lo)+1)
+		want := 1 + bruteDenseBelow(keys, lo, hi, keys[i])
+		if got != want {
+			t.Fatalf("row %d: dense_rank %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestDenseRankSlidingFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 400
+	w := 37
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(20)
+	}
+	tree, ranks := buildFromKeys(t, keys, mst.Options{Fanout: 2, SampleEvery: 1})
+	for i := 0; i < n; i++ {
+		lo := max(0, i-w+1)
+		hi := i + 1
+		got := tree.CountDistinctBelow(lo, hi, ranks[i], int64(lo)+1)
+		want := bruteDenseBelow(keys, lo, hi, keys[i])
+		if got != want {
+			t.Fatalf("row %d frame [%d,%d): got %d want %d", i, lo, hi, got, want)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New([]int64{1}, []int64{0, 0}, mst.Options{}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	tree, err := New(nil, nil, mst.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.CountDistinctBelow(0, 10, 5, 1); got != 0 {
+		t.Fatalf("empty tree count = %d", got)
+	}
+}

@@ -1,0 +1,91 @@
+// Package segtree implements the segment-tree evaluation strategies the
+// paper compares against (§3.2).
+//
+// Tree (the plain segment tree of Leis et al., PVLDB 2015) evaluates framed
+// distributive and algebraic aggregates: an O(n) build produces a read-only
+// index that answers any frame in O(log n), independent of frame overlap, so
+// the probe phase is embarrassingly parallel. It is the window operator's
+// engine for framed non-holistic aggregates (SUM, MIN, COUNT, ...) — and, in
+// our operator, also the workhorse behind framed MIN/MAX even though the SQL
+// standard already permits those.
+//
+// SortedTree is the sorted-list-annotated segment tree (base intervals,
+// Arasu & Widom 2004): every node carries the sorted list of its leaves'
+// values. Percentile queries cover the frame with O(log n) nodes and binary
+// search the k-th element across their lists, costing O((log n)²) per frame
+// — the parallelizable-but-slower percentile competitor of Table 1.
+package segtree
+
+// Tree is a segment tree over n leaves with a user-supplied merge function.
+// Merge must be associative; no inverse is required.
+type Tree[S any] struct {
+	n     int
+	nodes []S
+	merge func(S, S) S
+}
+
+// New builds a segment tree over values in O(n). The values slice is not
+// retained.
+func New[S any](values []S, merge func(S, S) S) *Tree[S] {
+	n := len(values)
+	t := &Tree[S]{n: n, merge: merge}
+	if n == 0 {
+		return t
+	}
+	t.nodes = make([]S, 2*n)
+	copy(t.nodes[n:], values)
+	for i := n - 1; i >= 1; i-- {
+		t.nodes[i] = merge(t.nodes[2*i], t.nodes[2*i+1])
+	}
+	return t
+}
+
+// Len returns the number of leaves.
+func (t *Tree[S]) Len() int { return t.n }
+
+// Query merges the values at leaf positions [lo, hi). ok is false when the
+// clamped range is empty.
+func (t *Tree[S]) Query(lo, hi int) (result S, ok bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.n {
+		hi = t.n
+	}
+	if lo >= hi {
+		return result, false
+	}
+	// Bottom-up traversal over the implicit tree; merge order is preserved
+	// left-to-right so non-commutative merges work too.
+	var left, right S
+	haveL, haveR := false, false
+	l, r := lo+t.n, hi+t.n
+	for l < r {
+		if l&1 == 1 {
+			if haveL {
+				left = t.merge(left, t.nodes[l])
+			} else {
+				left, haveL = t.nodes[l], true
+			}
+			l++
+		}
+		if r&1 == 1 {
+			r--
+			if haveR {
+				right = t.merge(t.nodes[r], right)
+			} else {
+				right, haveR = t.nodes[r], true
+			}
+		}
+		l >>= 1
+		r >>= 1
+	}
+	switch {
+	case haveL && haveR:
+		return t.merge(left, right), true
+	case haveL:
+		return left, true
+	default:
+		return right, true
+	}
+}

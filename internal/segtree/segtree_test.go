@@ -1,0 +1,174 @@
+package segtree
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeSumQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 15, 16, 17, 1000} {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(100)
+		}
+		tr := New(vals, func(a, b int64) int64 { return a + b })
+		for lo := 0; lo <= n; lo++ {
+			for hi := lo; hi <= n; hi++ {
+				want := int64(0)
+				for i := lo; i < hi; i++ {
+					want += vals[i]
+				}
+				got, ok := tr.Query(lo, hi)
+				if ok != (hi > lo) {
+					t.Fatalf("n=%d [%d,%d): ok=%v", n, lo, hi, ok)
+				}
+				if ok && got != want {
+					t.Fatalf("n=%d sum[%d,%d) = %d, want %d", n, lo, hi, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeNonCommutativeMerge(t *testing.T) {
+	// Concatenation order must be left-to-right.
+	vals := []string{"a", "b", "c", "d", "e", "f", "g"}
+	tr := New(vals, func(a, b string) string { return a + b })
+	for lo := 0; lo <= len(vals); lo++ {
+		for hi := lo; hi <= len(vals); hi++ {
+			want := ""
+			for i := lo; i < hi; i++ {
+				want += vals[i]
+			}
+			got, ok := tr.Query(lo, hi)
+			if !ok {
+				if want != "" {
+					t.Fatalf("[%d,%d): unexpected !ok", lo, hi)
+				}
+				continue
+			}
+			if got != want {
+				t.Fatalf("[%d,%d) = %q, want %q", lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func TestTreeMinMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 300
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000) - 500
+	}
+	minT := New(vals, func(a, b int64) int64 { return min(a, b) })
+	maxT := New(vals, func(a, b int64) int64 { return max(a, b) })
+	for trial := 0; trial < 300; trial++ {
+		lo := rng.Intn(n)
+		hi := lo + 1 + rng.Intn(n-lo)
+		wantMin, wantMax := vals[lo], vals[lo]
+		for i := lo; i < hi; i++ {
+			wantMin = min(wantMin, vals[i])
+			wantMax = max(wantMax, vals[i])
+		}
+		if got, _ := minT.Query(lo, hi); got != wantMin {
+			t.Fatalf("min[%d,%d) = %d, want %d", lo, hi, got, wantMin)
+		}
+		if got, _ := maxT.Query(lo, hi); got != wantMax {
+			t.Fatalf("max[%d,%d) = %d, want %d", lo, hi, got, wantMax)
+		}
+	}
+}
+
+func TestTreeClamping(t *testing.T) {
+	tr := New([]int64{1, 2, 3}, func(a, b int64) int64 { return a + b })
+	if got, ok := tr.Query(-5, 99); !ok || got != 6 {
+		t.Fatalf("clamped query = (%d,%v)", got, ok)
+	}
+	if _, ok := tr.Query(2, 2); ok {
+		t.Fatal("empty range must return !ok")
+	}
+	empty := New[int64](nil, func(a, b int64) int64 { return a + b })
+	if _, ok := empty.Query(0, 1); ok {
+		t.Fatal("empty tree must return !ok")
+	}
+}
+
+func TestSortedTreeKth(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 7, 64, 65, 513} {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(int64(n)) - int64(n)/2
+		}
+		tr := NewSorted(vals)
+		for trial := 0; trial < 100; trial++ {
+			lo := rng.Intn(n)
+			hi := lo + 1 + rng.Intn(n-lo)
+			k := rng.Intn(hi - lo)
+			want := slices.Clone(vals[lo:hi])
+			slices.Sort(want)
+			got, ok := tr.Kth(lo, hi, k)
+			if !ok || got != want[k] {
+				t.Fatalf("n=%d Kth(%d,%d,%d) = (%d,%v), want %d", n, lo, hi, k, got, ok, want[k])
+			}
+		}
+		if _, ok := tr.Kth(0, n, n); ok {
+			t.Fatal("out-of-range k must return !ok")
+		}
+		if _, ok := tr.Kth(0, 0, 0); ok {
+			t.Fatal("empty range must return !ok")
+		}
+	}
+}
+
+func TestSortedTreeCountBelow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 500
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(50)
+	}
+	tr := NewSorted(vals)
+	for trial := 0; trial < 300; trial++ {
+		lo := rng.Intn(n + 1)
+		hi := lo + rng.Intn(n+1-lo)
+		th := rng.Int63n(52)
+		want := 0
+		for i := lo; i < hi; i++ {
+			if vals[i] < th {
+				want++
+			}
+		}
+		if got := tr.CountBelow(lo, hi, th); got != want {
+			t.Fatalf("CountBelow(%d,%d,%d) = %d, want %d", lo, hi, th, got, want)
+		}
+	}
+}
+
+func TestSortedTreeProperty(t *testing.T) {
+	prop := func(raw []int16, loSeed, hiSeed, kSeed uint16) bool {
+		n := len(raw)
+		if n == 0 {
+			return true
+		}
+		vals := make([]int64, n)
+		for i, v := range raw {
+			vals[i] = int64(v)
+		}
+		tr := NewSorted(vals)
+		lo := int(loSeed) % n
+		hi := lo + 1 + int(hiSeed)%(n-lo)
+		k := int(kSeed) % (hi - lo)
+		want := slices.Clone(vals[lo:hi])
+		slices.Sort(want)
+		got, ok := tr.Kth(lo, hi, k)
+		return ok && got == want[k]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

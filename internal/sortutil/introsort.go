@@ -1,0 +1,171 @@
+package sortutil
+
+import "math/bits"
+
+// Partitioning selects the quicksort partitioning scheme used by IntroSort.
+//
+// §5.3 of the paper reports that a 2-way partitioning quicksort degrades to
+// O(n²) on inputs with few distinct values — exactly what the prevIdcs array
+// of a framed distinct count over a mostly-unique column looks like (almost
+// all entries are 0). Switching to 3-way (Dutch national flag) partitioning
+// fixed this in Hyper; both schemes are kept here so the regression is
+// reproducible (see BenchmarkAblationPartitioning).
+type Partitioning int
+
+const (
+	// ThreeWay partitions into <, ==, > regions and recurses only into the
+	// strict regions. Robust against duplicate-heavy inputs.
+	ThreeWay Partitioning = iota
+	// TwoWay is classic Hoare partitioning. Quadratic scanning behaviour on
+	// duplicate-heavy inputs is only prevented by the introsort depth limit.
+	TwoWay
+)
+
+// IntroSort sorts a ascending using quicksort with the given partitioning
+// scheme, falling back to heapsort beyond 2·log2(n) recursion depth and to
+// insertion sort for small ranges — the same introsort structure Hyper's
+// sort code uses (§5.2).
+func IntroSort(a []int64, p Partitioning) {
+	if len(a) < 2 {
+		return
+	}
+	depth := 2 * (bits.Len(uint(len(a))) - 1)
+	introSort(a, depth, p)
+}
+
+const insertionThreshold = 24
+
+func introSort(a []int64, depth int, p Partitioning) {
+	for len(a) > insertionThreshold {
+		if depth == 0 {
+			heapSort(a)
+			return
+		}
+		depth--
+		if p == ThreeWay {
+			lt, gt := partition3(a)
+			// Recurse into the smaller side, loop on the larger one to
+			// bound stack depth.
+			if lt < len(a)-gt {
+				introSort(a[:lt], depth, p)
+				a = a[gt:]
+			} else {
+				introSort(a[gt:], depth, p)
+				a = a[:lt]
+			}
+		} else {
+			m := partition2(a)
+			if m < len(a)-m {
+				introSort(a[:m], depth, p)
+				a = a[m:]
+			} else {
+				introSort(a[m:], depth, p)
+				a = a[:m]
+			}
+		}
+	}
+	insertionSort(a)
+}
+
+// medianOfThree orders a[lo], a[mid], a[hi] and returns the median value.
+func medianOfThree(a []int64) int64 {
+	lo, mid, hi := 0, len(a)/2, len(a)-1
+	if a[mid] < a[lo] {
+		a[mid], a[lo] = a[lo], a[mid]
+	}
+	if a[hi] < a[mid] {
+		a[hi], a[mid] = a[mid], a[hi]
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+	}
+	return a[mid]
+}
+
+// partition3 performs Dutch-national-flag partitioning around a
+// median-of-three pivot. It returns (lt, gt) such that a[:lt] < pivot,
+// a[lt:gt] == pivot, a[gt:] > pivot.
+func partition3(a []int64) (lt, gt int) {
+	pivot := medianOfThree(a)
+	lt, gt = 0, len(a)
+	for i := lt; i < gt; {
+		switch {
+		case a[i] < pivot:
+			a[i], a[lt] = a[lt], a[i]
+			lt++
+			i++
+		case a[i] > pivot:
+			gt--
+			a[i], a[gt] = a[gt], a[i]
+		default:
+			i++
+		}
+	}
+	return lt, gt
+}
+
+// partition2 performs Hoare partitioning around a median-of-three pivot and
+// returns the split point m with a[:m] <= pivot <= a[m:] (both sides
+// non-empty for len(a) >= 2).
+func partition2(a []int64) int {
+	pivot := medianOfThree(a)
+	i, j := -1, len(a)
+	for {
+		for {
+			i++
+			if a[i] >= pivot {
+				break
+			}
+		}
+		for {
+			j--
+			if a[j] <= pivot {
+				break
+			}
+		}
+		if i >= j {
+			return j + 1
+		}
+		a[i], a[j] = a[j], a[i]
+	}
+}
+
+func insertionSort(a []int64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+func heapSort(a []int64) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(a, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		a[0], a[i] = a[i], a[0]
+		siftDown(a, 0, i)
+	}
+}
+
+func siftDown(a []int64, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}

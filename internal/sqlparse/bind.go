@@ -1,0 +1,147 @@
+package sqlparse
+
+import (
+	"fmt"
+
+	"holistic/internal/core"
+	"holistic/internal/frame"
+)
+
+// Execute runs a parsed query against the named tables and returns a result
+// table with one column per select-list item, in select order.
+//
+// Function calls sharing a window definition are evaluated in one window
+// operator invocation, so partitioning and ordering are computed once per
+// distinct window — the duplicated-work avoidance of Kohn et al. and Cao et
+// al. that §3.1 cites as complementary to the paper.
+func Execute(q *Query, tables map[string]*core.Table, opt core.Options) (*core.Table, error) {
+	src, ok := tables[q.From]
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", q.From)
+	}
+
+	// Assign output column names: aliases win; default names are the
+	// function (or column) name, uniquified.
+	used := map[string]int{}
+	outName := func(base string) string {
+		used[base]++
+		if used[base] == 1 {
+			return base
+		}
+		return fmt.Sprintf("%s_%d", base, used[base])
+	}
+	type outputRef struct {
+		name     string
+		fromSrc  bool // pass-through column
+		srcCol   string
+		groupKey string
+	}
+	outputs := make([]outputRef, len(q.Items))
+
+	// Group function calls by (PARTITION BY, ORDER BY): windows that share
+	// them share one sort and one operator invocation, with differing
+	// frames expressed as per-function overrides.
+	type group struct {
+		def   *WindowDef // representative: supplies partitioning/ordering
+		funcs []core.FuncSpec
+	}
+	groups := map[string]*group{}
+	var groupOrder []string
+
+	for i := range q.Items {
+		item := &q.Items[i]
+		if item.Func == nil {
+			if src.Column(item.Column) == nil {
+				return nil, fmt.Errorf("sql: unknown column %q", item.Column)
+			}
+			name := item.Alias
+			if name == "" {
+				name = item.Column
+			}
+			outputs[i] = outputRef{name: outName(name), fromSrc: true, srcCol: item.Column}
+			continue
+		}
+		fc := item.Func
+		if fc.Window == nil {
+			return nil, fmt.Errorf("sql: %s has no window", item.Text)
+		}
+		name := item.Alias
+		if name == "" {
+			name = fc.Name
+		}
+		name = outName(name)
+		spec, err := fc.toFuncSpec(name)
+		if err != nil {
+			return nil, err
+		}
+		// The function's frame becomes a per-function override, so windows
+		// differing only in framing still share the group. A missing frame
+		// clause means SQL's default frame, which depends on the presence
+		// of an ORDER BY — encode it explicitly to keep the default
+		// per-window rather than per-group.
+		frameDef := fc.Window.Frame
+		if frameDef != nil {
+			fs, err := frameDef.toFrameSpec()
+			if err != nil {
+				return nil, err
+			}
+			spec.Frame = &fs
+		} else {
+			fs := defaultFrame(fc.Window)
+			spec.Frame = &fs
+		}
+		key := fc.Window.sortKey()
+		g, ok := groups[key]
+		if !ok {
+			g = &group{def: fc.Window}
+			groups[key] = g
+			groupOrder = append(groupOrder, key)
+		}
+		g.funcs = append(g.funcs, spec)
+		outputs[i] = outputRef{name: name, groupKey: key}
+	}
+
+	// Run one window operator per distinct (partitioning, ordering).
+	results := map[string]*core.Result{}
+	for _, key := range groupOrder {
+		g := groups[key]
+		w := &core.WindowSpec{
+			PartitionBy: g.def.PartitionBy,
+			OrderBy:     toSortKeys(g.def.OrderBy),
+			Funcs:       g.funcs,
+		}
+		res, err := core.Run(src, w, opt)
+		if err != nil {
+			return nil, err
+		}
+		results[key] = res
+	}
+
+	// Assemble the output table in select order.
+	cols := make([]*core.Column, len(outputs))
+	for i, o := range outputs {
+		if o.fromSrc {
+			cols[i] = renameColumn(src.Column(o.srcCol), o.name)
+			continue
+		}
+		cols[i] = results[o.groupKey].Column(o.name)
+	}
+	return core.NewTable(cols...)
+}
+
+// renameColumn returns a view of col under a new name.
+func renameColumn(col *core.Column, name string) *core.Column {
+	if col.Name() == name {
+		return col
+	}
+	return col.Renamed(name)
+}
+
+// defaultFrame is SQL's default frame for a window: RANGE UNBOUNDED
+// PRECEDING .. CURRENT ROW with an ORDER BY, the whole partition without.
+func defaultFrame(w *WindowDef) frame.Spec {
+	if len(w.OrderBy) > 0 {
+		return frame.Default()
+	}
+	return frame.WholePartition()
+}

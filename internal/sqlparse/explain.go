@@ -1,0 +1,145 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"holistic/internal/core"
+	"holistic/internal/frame"
+)
+
+// Explain renders the evaluation plan of a parsed query: how the select
+// list groups into window-operator invocations, which index structure each
+// function builds, and which preprocessing steps feed it — the §4/§5
+// pipeline, made visible.
+func Explain(q *Query) (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Window query over %s\n", q.From)
+
+	type planned struct {
+		def   *WindowDef
+		items []*SelectItem
+	}
+	groups := map[string]*planned{}
+	var order []string
+	passThrough := 0
+	for i := range q.Items {
+		item := &q.Items[i]
+		if item.Func == nil {
+			passThrough++
+			continue
+		}
+		if item.Func.Window == nil {
+			return "", fmt.Errorf("sql: %s has no window", item.Text)
+		}
+		key := item.Func.Window.sortKey()
+		g, ok := groups[key]
+		if !ok {
+			g = &planned{def: item.Func.Window}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.items = append(g.items, item)
+	}
+	if passThrough > 0 {
+		fmt.Fprintf(&sb, "├─ %d pass-through column(s)\n", passThrough)
+	}
+	for gi, key := range order {
+		g := groups[key]
+		fmt.Fprintf(&sb, "├─ window operator %d: partition by %s, order by %s\n",
+			gi+1, describeCols(g.def.PartitionBy), describeOrder(g.def.OrderBy))
+		fmt.Fprintf(&sb, "│    shared: parallel sort, partition boundaries\n")
+		for _, item := range g.items {
+			fc := item.Func
+			spec, err := fc.toFuncSpec("x")
+			if err != nil {
+				return "", err
+			}
+			fr := frameText(fc.Window)
+			fmt.Fprintf(&sb, "│    ├─ %s\n", strings.Join(strings.Fields(item.Text), " "))
+			fmt.Fprintf(&sb, "│    │    frame: %s\n", fr)
+			fmt.Fprintf(&sb, "│    │    plan:  %s\n", functionPlan(spec.Name))
+		}
+	}
+	return sb.String(), nil
+}
+
+func describeCols(cols []string) string {
+	if len(cols) == 0 {
+		return "(none)"
+	}
+	return strings.Join(cols, ", ")
+}
+
+func describeOrder(keys []OrderKey) string {
+	if len(keys) == 0 {
+		return "(none)"
+	}
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k.Column
+		if k.Desc {
+			parts[i] += " desc"
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+func frameText(w *WindowDef) string {
+	if w.Frame == nil {
+		if len(w.OrderBy) > 0 {
+			return "range unbounded preceding .. current row (SQL default)"
+		}
+		return "whole partition (SQL default)"
+	}
+	f := w.Frame
+	s := fmt.Sprintf("%s %s .. %s", f.Mode, boundText(f.Start), boundText(f.End))
+	if f.Exclude != "" && f.Exclude != "no others" {
+		s += " exclude " + f.Exclude
+	}
+	return s
+}
+
+func boundText(b BoundDef) string {
+	switch b.Kind {
+	case "preceding", "following":
+		return fmt.Sprintf("%d %s", b.Offset, b.Kind)
+	default:
+		return b.Kind
+	}
+}
+
+// functionPlan names the §4 algorithm a function runs under the default
+// engine.
+func functionPlan(name core.FuncName) string {
+	switch name {
+	case core.CountStar, core.Count:
+		return "frame-size arithmetic (no index)"
+	case core.Sum, core.Avg, core.Min, core.Max:
+		return "segment tree over kept values (O(n) build, O(log n) probe)"
+	case core.CountDistinct:
+		return "prevIdcs (Alg. 1) -> merge sort tree -> count-below probes (§4.2)"
+	case core.SumDistinct, core.AvgDistinct:
+		return "prevIdcs (Alg. 1) -> annotated merge sort tree -> prefix-aggregate probes (§4.3)"
+	case core.Rank, core.PercentRank, core.CumeDist:
+		return "dense ranks (Fig. 8) -> merge sort tree -> count-below probes (§4.4)"
+	case core.RowNumber, core.Ntile:
+		return "position-disambiguated ranks -> merge sort tree -> count-below probes (§4.4)"
+	case core.DenseRank:
+		return "dense ranks + prevIdcs -> range tree -> 3-dim count probes (§4.4, O(n log² n))"
+	case core.PercentileDisc, core.PercentileCont, core.NthValue, core.FirstValue, core.LastValue:
+		return "permutation array (Fig. 6) -> merge sort tree -> select-kth probes (§4.5)"
+	case core.Lead, core.Lag:
+		return "permutation array -> merge sort tree -> row-number + select probes (§4.6)"
+	}
+	return "merge sort tree"
+}
+
+// frameSpecOf exposes the effective frame of a window definition (used by
+// tests).
+func frameSpecOf(w *WindowDef) (frame.Spec, error) {
+	if w.Frame == nil {
+		return defaultFrame(w), nil
+	}
+	return w.Frame.toFrameSpec()
+}

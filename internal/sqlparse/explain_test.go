@@ -1,0 +1,88 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"holistic/internal/frame"
+)
+
+func TestExplainLeaderboard(t *testing.T) {
+	q, err := Parse(`
+		select dbsystem,
+		  count(distinct dbsystem) over w,
+		  rank(order by tps desc) over w,
+		  percentile_disc(0.9 order by tps) over (order by tps rows between 10 preceding and current row) as p90
+		from tpcc_results
+		window w as (order by submission_date
+		  range between unbounded preceding and current row)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Window query over tpcc_results",
+		"1 pass-through column(s)",
+		"window operator 1", "window operator 2",
+		"order by submission_date",
+		"range unbounded preceding .. current row",
+		"rows 10 preceding .. current row",
+		"prevIdcs (Alg. 1)",
+		"dense ranks (Fig. 8)",
+		"permutation array (Fig. 6)",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Fatalf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	// The two w-functions share operator 1; the inline window is its own.
+	if strings.Count(plan, "window operator") != 2 {
+		t.Fatalf("expected exactly 2 operators:\n%s", plan)
+	}
+}
+
+func TestExplainDefaultsAndExclusion(t *testing.T) {
+	q, err := Parse(`
+		select sum(v) over (partition by g),
+		       count(distinct v) over (order by d rows between 3 preceding and 1 following exclude ties)
+		from t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"whole partition (SQL default)",
+		"exclude ties",
+		"partition by g",
+		"segment tree over kept values",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Fatalf("plan missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+func TestFrameSpecOfDefaults(t *testing.T) {
+	withOrder := &WindowDef{OrderBy: []OrderKey{{Column: "d"}}}
+	spec, err := frameSpecOf(withOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Mode != frame.Range || spec.End.Type != frame.CurrentRow {
+		t.Fatalf("default with order = %+v", spec)
+	}
+	noOrder := &WindowDef{}
+	spec, err = frameSpecOf(noOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.End.Type != frame.UnboundedFollowing {
+		t.Fatalf("default without order = %+v", spec)
+	}
+}

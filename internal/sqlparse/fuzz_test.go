@@ -1,0 +1,71 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that accepted queries
+// survive a reparse of their structural parts. Run the seed corpus with
+// `go test`, explore with `go test -fuzz=FuzzParse`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"select a from t",
+		"select count(*) over (order by d) from t",
+		"select count(distinct x) over w from t window w as (order by d)",
+		"select rank(order by tps desc) over w from t window w as (order by d range between unbounded preceding and current row)",
+		"select percentile_disc(0.5 order by x) over (order by d rows between 999 preceding and current row) as m from t",
+		"select nth_value(x, 3 order by a) ignore nulls over (partition by g order by d groups between 1 preceding and 1 following exclude ties) from t",
+		"select sum(v) filter (where f) over (order by d desc nulls last) from t",
+		"select lead(x order by a) over (order by d rows between '1 week' preceding and current row) from t",
+		"select a, b, c from t -- comment",
+		`select "quoted col" from t`,
+		"select f(',') over (order by d) from t",
+		"select x from",
+		"select ((( from t",
+		"select count(distinct) over () from t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if q.From == "" && len(q.Items) > 0 {
+			t.Fatalf("accepted query without FROM: %q", src)
+		}
+		for _, item := range q.Items {
+			if item.Func == nil && item.Column == "" {
+				t.Fatalf("accepted empty select item: %q", src)
+			}
+			if item.Func != nil && item.Func.Window == nil && item.Func.WindowRef == "" {
+				t.Fatalf("accepted window function without window: %q", src)
+			}
+		}
+	})
+}
+
+func TestFuzzRegressionInputs(t *testing.T) {
+	// Inputs that once looked suspicious; all must be handled gracefully.
+	inputs := []string{
+		strings.Repeat("(", 1000),
+		"select " + strings.Repeat("a,", 500) + "a from t",
+		"select 'unterminated from t",
+		"select \"unterminated from t",
+		"select a from t window",
+		"select f(1.2.3) over (order by d) from t",
+		"select f(x) over (rows between 9999999999999999999999 preceding and current row) from t",
+	}
+	for _, src := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}

@@ -1,0 +1,467 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SELECT statement of the paper's dialect.
+func Parse(src string) (*Query, error) {
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, tokens: tokens}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	src    string
+	tokens []token
+	pos    int
+}
+
+func (p *parser) cur() token  { return p.tokens[p.pos] }
+func (p *parser) next() token { t := p.tokens[p.pos]; p.pos++; return t }
+
+// isKw reports whether the current token is the given keyword.
+func (p *parser) isKw(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+// acceptKw consumes the keyword if present.
+func (p *parser) acceptKw(kw string) bool {
+	if p.isKw(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expectKw consumes the keyword or fails.
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %q", strings.ToUpper(kw))
+	}
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if p.cur().kind != kind {
+		return token{}, p.errf("expected %s", what)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	got := t.text
+	if t.kind == tokEOF {
+		got = "end of input"
+	}
+	return fmt.Errorf("sql: %s, got %q at offset %d", fmt.Sprintf(format, args...), got, t.pos)
+}
+
+var reservedAfterItem = map[string]bool{
+	"from": true, "window": true, "as": true,
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	q := &Query{Windows: map[string]*WindowDef{}}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Items = append(q.Items, item)
+		if p.cur().kind == tokComma {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	fromTok, err := p.expect(tokIdent, "table name")
+	if err != nil {
+		return nil, err
+	}
+	q.From = fromTok.text
+	if p.acceptKw("window") {
+		for {
+			nameTok, err := p.expect(tokIdent, "window name")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("as"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokLParen, "'('"); err != nil {
+				return nil, err
+			}
+			def, err := p.parseWindowBody()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			q.Windows[strings.ToLower(nameTok.text)] = def
+			if p.cur().kind == tokComma {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input")
+	}
+	// Resolve window references.
+	for i := range q.Items {
+		fc := q.Items[i].Func
+		if fc == nil || fc.WindowRef == "" {
+			continue
+		}
+		def, ok := q.Windows[strings.ToLower(fc.WindowRef)]
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown window %q", fc.WindowRef)
+		}
+		fc.Window = def
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	start := p.cur().pos
+	var item SelectItem
+	identTok, err := p.expect(tokIdent, "column or function")
+	if err != nil {
+		return item, err
+	}
+	if p.cur().kind == tokLParen {
+		fc, err := p.parseFuncCall(strings.ToLower(identTok.text))
+		if err != nil {
+			return item, err
+		}
+		item.Func = fc
+	} else {
+		item.Column = identTok.text
+	}
+	end := p.cur().pos
+	item.Text = strings.TrimSpace(p.src[start:min(end, len(p.src))])
+	if p.acceptKw("as") {
+		aliasTok, err := p.expect(tokIdent, "alias")
+		if err != nil {
+			return item, err
+		}
+		item.Alias = aliasTok.text
+	} else if p.cur().kind == tokIdent && !reservedAfterItem[strings.ToLower(p.cur().text)] {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseFuncCall(name string) (*FuncCall, error) {
+	fc := &FuncCall{Name: name}
+	p.pos++ // '('
+	if p.cur().kind == tokStar {
+		fc.Star = true
+		p.pos++
+	} else if p.cur().kind != tokRParen {
+		if p.acceptKw("distinct") {
+			fc.Distinct = true
+		}
+		// Arguments: identifiers and at most one numeric literal, in any
+		// order, optionally followed by ORDER BY.
+		for {
+			if p.isKw("order") {
+				break
+			}
+			switch p.cur().kind {
+			case tokIdent:
+				fc.Args = append(fc.Args, p.next().text)
+			case tokNumber:
+				numTok := p.next()
+				v, err := strconv.ParseFloat(numTok.text, 64)
+				if err != nil {
+					return nil, fmt.Errorf("sql: bad number %q", numTok.text)
+				}
+				fc.Number = v
+				fc.HasNumber = true
+			default:
+				return nil, p.errf("expected function argument")
+			}
+			if p.cur().kind == tokComma {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if p.acceptKw("order") {
+			if err := p.expectKw("by"); err != nil {
+				return nil, err
+			}
+			keys, err := p.parseOrderList()
+			if err != nil {
+				return nil, err
+			}
+			fc.OrderBy = keys
+		}
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	if p.acceptKw("filter") {
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("where"); err != nil {
+			return nil, err
+		}
+		colTok, err := p.expect(tokIdent, "filter column")
+		if err != nil {
+			return nil, err
+		}
+		fc.Filter = colTok.text
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKw("ignore") {
+		if err := p.expectKw("nulls"); err != nil {
+			return nil, err
+		}
+		fc.IgnoreNulls = true
+	}
+	if err := p.expectKw("over"); err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokLParen {
+		p.pos++
+		def, err := p.parseWindowBody()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		fc.Window = def
+	} else {
+		refTok, err := p.expect(tokIdent, "window name or '('")
+		if err != nil {
+			return nil, err
+		}
+		fc.WindowRef = refTok.text
+	}
+	return fc, nil
+}
+
+func (p *parser) parseWindowBody() (*WindowDef, error) {
+	def := &WindowDef{}
+	if p.acceptKw("partition") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			colTok, err := p.expect(tokIdent, "partition column")
+			if err != nil {
+				return nil, err
+			}
+			def.PartitionBy = append(def.PartitionBy, colTok.text)
+			if p.cur().kind == tokComma {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		keys, err := p.parseOrderList()
+		if err != nil {
+			return nil, err
+		}
+		def.OrderBy = keys
+	}
+	for _, mode := range []string{"rows", "range", "groups"} {
+		if p.acceptKw(mode) {
+			fr, err := p.parseFrame(mode)
+			if err != nil {
+				return nil, err
+			}
+			def.Frame = fr
+			break
+		}
+	}
+	return def, nil
+}
+
+func (p *parser) parseOrderList() ([]OrderKey, error) {
+	var keys []OrderKey
+	for {
+		colTok, err := p.expect(tokIdent, "order column")
+		if err != nil {
+			return nil, err
+		}
+		key := OrderKey{Column: colTok.text}
+		if p.acceptKw("desc") {
+			key.Desc = true
+		} else {
+			p.acceptKw("asc")
+		}
+		if p.acceptKw("nulls") {
+			switch {
+			case p.acceptKw("first"):
+				key.NullsFirst = true
+				key.NullsSet = true
+			case p.acceptKw("last"):
+				key.NullsSet = true
+			default:
+				return nil, p.errf("expected FIRST or LAST")
+			}
+		}
+		keys = append(keys, key)
+		if p.cur().kind == tokComma {
+			p.pos++
+			continue
+		}
+		return keys, nil
+	}
+}
+
+func (p *parser) parseFrame(mode string) (*FrameDef, error) {
+	fr := &FrameDef{Mode: mode}
+	if p.acceptKw("between") {
+		start, err := p.parseBound()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("and"); err != nil {
+			return nil, err
+		}
+		end, err := p.parseBound()
+		if err != nil {
+			return nil, err
+		}
+		fr.Start, fr.End = start, end
+	} else {
+		// Single-bound shorthand: the bound is the start, end = CURRENT ROW.
+		start, err := p.parseBound()
+		if err != nil {
+			return nil, err
+		}
+		fr.Start = start
+		fr.End = BoundDef{Kind: "current row"}
+	}
+	if p.acceptKw("exclude") {
+		switch {
+		case p.acceptKw("current"):
+			if err := p.expectKw("row"); err != nil {
+				return nil, err
+			}
+			fr.Exclude = "current row"
+		case p.acceptKw("group"):
+			fr.Exclude = "group"
+		case p.acceptKw("ties"):
+			fr.Exclude = "ties"
+		case p.acceptKw("no"):
+			if err := p.expectKw("others"); err != nil {
+				return nil, err
+			}
+			fr.Exclude = "no others"
+		default:
+			return nil, p.errf("expected exclusion clause")
+		}
+	}
+	return fr, nil
+}
+
+func (p *parser) parseBound() (BoundDef, error) {
+	switch {
+	case p.acceptKw("unbounded"):
+		switch {
+		case p.acceptKw("preceding"):
+			return BoundDef{Kind: "unbounded preceding"}, nil
+		case p.acceptKw("following"):
+			return BoundDef{Kind: "unbounded following"}, nil
+		}
+		return BoundDef{}, p.errf("expected PRECEDING or FOLLOWING")
+	case p.acceptKw("current"):
+		if err := p.expectKw("row"); err != nil {
+			return BoundDef{}, err
+		}
+		return BoundDef{Kind: "current row"}, nil
+	case p.cur().kind == tokNumber:
+		numTok := p.next()
+		n, err := strconv.ParseInt(numTok.text, 10, 64)
+		if err != nil {
+			return BoundDef{}, fmt.Errorf("sql: bad frame offset %q", numTok.text)
+		}
+		switch {
+		case p.acceptKw("preceding"):
+			return BoundDef{Kind: "preceding", Offset: n}, nil
+		case p.acceptKw("following"):
+			return BoundDef{Kind: "following", Offset: n}, nil
+		}
+		return BoundDef{}, p.errf("expected PRECEDING or FOLLOWING")
+	case p.cur().kind == tokString:
+		// Interval-style literals like '1 month' preceding: the numeric
+		// prefix is taken as the offset in the order key's units; unit
+		// words are accepted for readability (documented in README).
+		strTok := p.next()
+		n, err := parseIntervalLiteral(strTok.text)
+		if err != nil {
+			return BoundDef{}, err
+		}
+		switch {
+		case p.acceptKw("preceding"):
+			return BoundDef{Kind: "preceding", Offset: n}, nil
+		case p.acceptKw("following"):
+			return BoundDef{Kind: "following", Offset: n}, nil
+		}
+		return BoundDef{}, p.errf("expected PRECEDING or FOLLOWING")
+	}
+	return BoundDef{}, p.errf("expected frame bound")
+}
+
+// parseIntervalLiteral maps '1 week' style literals to day counts (the RANGE
+// order keys of the examples are day numbers): supported units are day(s),
+// week(s), month(s) (30 days), year(s) (365 days); a bare number passes
+// through.
+func parseIntervalLiteral(s string) (int64, error) {
+	fields := strings.Fields(strings.ToLower(s))
+	if len(fields) == 0 {
+		return 0, fmt.Errorf("sql: empty interval literal")
+	}
+	n, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sql: bad interval %q", s)
+	}
+	if len(fields) == 1 {
+		return n, nil
+	}
+	switch strings.TrimSuffix(fields[1], "s") {
+	case "day":
+		return n, nil
+	case "week":
+		return n * 7, nil
+	case "month":
+		return n * 30, nil
+	case "year":
+		return n * 365, nil
+	}
+	return 0, fmt.Errorf("sql: unsupported interval unit in %q", s)
+}

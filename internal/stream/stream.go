@@ -1,0 +1,297 @@
+// Package stream extends merge sort trees to stream aggregation — the
+// future-work direction the paper's conclusion names (§7: "it will be
+// interesting to see how future work can expand this approach, e.g., to
+// stream aggregation systems where additional challenges, such as
+// out-of-order arrivals, are present").
+//
+// Aggregator maintains holistic aggregates (distinct count, percentiles,
+// ranks) over a sliding time window of a stream:
+//
+//   - Tuples arrive roughly time-ordered; out-of-order arrivals are
+//     accepted as long as they are newer than the watermark (the newest
+//     timestamp already frozen into the tree). Older tuples are rejected —
+//     standard watermark semantics.
+//   - Recent tuples live in a small mutable tail; once the tail exceeds a
+//     rebuild threshold it is sorted and frozen into the merge sort tree.
+//     Rebuilding the tree over m tuples costs O(m log m) and happens every
+//     Θ(m) arrivals, so the amortized maintenance cost per tuple is
+//     O(log m) — matching the per-tuple cost of the dedicated streaming
+//     structures (FiBA et al.) while reusing the relational machinery.
+//   - The sliding window only evicts at the front, which a merge sort tree
+//     handles for free: queries simply pass a narrower position range. The
+//     evicted prefix is physically dropped at the next rebuild.
+//
+// Queries combine an O(log n) tree probe over the frozen part with a linear
+// scan of the bounded tail.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"holistic/internal/mst"
+	"holistic/internal/sortutil"
+)
+
+// entry is one stream tuple.
+type entry struct {
+	ts  int64
+	val int64
+}
+
+// Options configures an Aggregator.
+type Options struct {
+	// RebuildThreshold is the tail size that triggers freezing into the
+	// tree. 0 chooses max(1024, len(frozen)/4) adaptively.
+	RebuildThreshold int
+	// Tree configures the underlying merge sort trees.
+	Tree mst.Options
+}
+
+// Aggregator maintains holistic aggregates over a sliding time window.
+type Aggregator struct {
+	window int64 // window length in timestamp units
+	opt    Options
+
+	// frozen tuples in timestamp order; tree indexes their values.
+	frozen []entry
+	tree   *mst.Tree
+	// prevIdcs of the frozen values (shifted, §5.1) and the annotated
+	// distinct-count tree over them.
+	distinct *mst.Tree
+	// lastPos maps each frozen value to its last frozen position, for
+	// cross-part deduplication and for prevIdcs at rebuild time.
+	lastPos map[int64]int
+	// start is the first frozen position still inside the window.
+	start int
+
+	// tail holds arrivals since the last rebuild, in arrival order
+	// (possibly out of timestamp order).
+	tail []entry
+	// sortedTail caches the tail's in-window values sorted ascending, so
+	// query bursts between arrivals pay the tail sort once. Invalidated by
+	// Observe and by window movement.
+	sortedTail    []int64
+	sortedTailCut int64
+	tailDirty     bool
+
+	watermark int64 // newest frozen timestamp
+	latest    int64 // newest observed timestamp
+}
+
+// NewAggregator creates a sliding-window aggregator. window is the window
+// length in timestamp units: a query at time t covers (t-window, t].
+func NewAggregator(window int64, opt Options) (*Aggregator, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("stream: window must be positive, got %d", window)
+	}
+	return &Aggregator{
+		window:  window,
+		opt:     opt,
+		lastPos: make(map[int64]int),
+	}, nil
+}
+
+// ErrLate is returned for tuples older than the watermark.
+type ErrLate struct {
+	Timestamp, Watermark int64
+}
+
+func (e *ErrLate) Error() string {
+	return fmt.Sprintf("stream: tuple at %d is older than the watermark %d", e.Timestamp, e.Watermark)
+}
+
+// Observe ingests one tuple. Tuples may arrive out of order as long as
+// their timestamp is not below the watermark.
+func (a *Aggregator) Observe(ts, value int64) error {
+	if ts < a.watermark {
+		return &ErrLate{Timestamp: ts, Watermark: a.watermark}
+	}
+	a.tail = append(a.tail, entry{ts, value})
+	a.tailDirty = true
+	if ts > a.latest {
+		a.latest = ts
+	}
+	if len(a.tail) >= a.rebuildThreshold() {
+		a.rebuild()
+	}
+	return nil
+}
+
+// tailSorted returns the tail's in-window values sorted ascending, cached
+// until the tail or the window cut changes.
+func (a *Aggregator) tailSorted() []int64 {
+	cut := a.latest - a.window
+	if !a.tailDirty && cut == a.sortedTailCut {
+		return a.sortedTail
+	}
+	a.sortedTail = a.sortedTail[:0]
+	for _, e := range a.tail {
+		if e.ts > cut {
+			a.sortedTail = append(a.sortedTail, e.val)
+		}
+	}
+	sortutil.IntroSort(a.sortedTail, sortutil.ThreeWay)
+	a.sortedTailCut = cut
+	a.tailDirty = false
+	return a.sortedTail
+}
+
+func (a *Aggregator) rebuildThreshold() int {
+	if a.opt.RebuildThreshold > 0 {
+		return a.opt.RebuildThreshold
+	}
+	t := len(a.frozen) / 4
+	if t < 1024 {
+		t = 1024
+	}
+	return t
+}
+
+// Watermark returns the newest frozen timestamp; older arrivals are
+// rejected.
+func (a *Aggregator) Watermark() int64 { return a.watermark }
+
+// Len returns the number of tuples currently inside the window.
+func (a *Aggregator) Len() int {
+	a.advance()
+	return (len(a.frozen) - a.start) + len(a.tailSorted())
+}
+
+// advance moves the window start past evicted frozen tuples.
+func (a *Aggregator) advance() {
+	cut := a.latest - a.window
+	for a.start < len(a.frozen) && a.frozen[a.start].ts <= cut {
+		a.start++
+	}
+}
+
+// rebuild freezes the tail into the tree, dropping the evicted prefix.
+func (a *Aggregator) rebuild() {
+	a.advance()
+	sort.SliceStable(a.tail, func(i, j int) bool { return a.tail[i].ts < a.tail[j].ts })
+	merged := make([]entry, 0, len(a.frozen)-a.start+len(a.tail))
+	merged = append(merged, a.frozen[a.start:]...)
+	merged = append(merged, a.tail...)
+	a.frozen = merged
+	a.tail = a.tail[:0]
+	a.tailDirty = true
+	a.start = 0
+	if len(a.frozen) > 0 {
+		a.watermark = a.frozen[len(a.frozen)-1].ts
+	}
+
+	// Recompute values, prevIdcs and the value index.
+	n := len(a.frozen)
+	vals := make([]int64, n)
+	for i, e := range a.frozen {
+		vals[i] = e.val
+	}
+	clear(a.lastPos)
+	prev := make([]int64, n)
+	for i, v := range vals {
+		if p, ok := a.lastPos[v]; ok {
+			prev[i] = int64(p) + 1
+		}
+		a.lastPos[v] = i
+	}
+	var err error
+	a.tree, err = mst.Build(vals, a.opt.Tree)
+	if err == nil {
+		a.distinct, err = mst.Build(prev, a.opt.Tree)
+	}
+	if err != nil {
+		// Build only fails on invalid options or absurd sizes; surface
+		// loudly rather than silently serving stale results.
+		panic(fmt.Sprintf("stream: tree rebuild failed: %v", err))
+	}
+}
+
+// DistinctCount returns the number of distinct values inside the window.
+func (a *Aggregator) DistinctCount() int {
+	a.advance()
+	cnt := 0
+	if a.distinct != nil {
+		cnt = a.distinct.CountBelow(a.start, len(a.frozen), int64(a.start)+1)
+	}
+	// Tail values: count those not already present in the frozen window
+	// part; the sorted tail makes within-tail deduplication an adjacency
+	// check.
+	st := a.tailSorted()
+	for i, v := range st {
+		if i > 0 && st[i-1] == v {
+			continue
+		}
+		if p, ok := a.lastPos[v]; ok && p >= a.start {
+			continue // already counted in the frozen part
+		}
+		cnt++
+	}
+	return cnt
+}
+
+// CountBelow returns the number of window tuples with value < v.
+func (a *Aggregator) CountBelow(v int64) int {
+	a.advance()
+	cnt := sortutil.LowerBound(a.tailSorted(), v)
+	if a.tree != nil {
+		cnt += a.tree.CountBelow(a.start, len(a.frozen), v)
+	}
+	return cnt
+}
+
+// Rank returns the 1-based rank a hypothetical value would take among the
+// window's values (1 + the number of strictly smaller values).
+func (a *Aggregator) Rank(v int64) int { return a.CountBelow(v) + 1 }
+
+// Percentile returns PERCENTILE_DISC(p) of the window's values. ok is false
+// when the window is empty.
+func (a *Aggregator) Percentile(p float64) (value int64, ok bool) {
+	size := a.Len()
+	if size == 0 {
+		return 0, false
+	}
+	k := int(math.Ceil(p*float64(size))) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= size {
+		k = size - 1
+	}
+	return a.selectKth(k), true
+}
+
+// Median is Percentile(0.5).
+func (a *Aggregator) Median() (int64, bool) { return a.Percentile(0.5) }
+
+// selectKth finds the k-th smallest window value by binary searching the
+// value domain against the combined counts of the frozen tree and the tail.
+func (a *Aggregator) selectKth(k int) int64 {
+	// Collect the tail's in-window values sorted, so counting below a
+	// candidate is a binary search rather than a scan per probe.
+	tailVals := a.tailSorted()
+	// Binary search the full value domain (64 probes, each an O(log n)
+	// count); smallest v such that count(<= v) >= k+1.
+	lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+	countLE := func(v int64) int {
+		c := sortutil.UpperBound(tailVals, v)
+		if a.tree != nil {
+			if v == math.MaxInt64 {
+				c += len(a.frozen) - a.start
+			} else {
+				c += a.tree.CountBelow(a.start, len(a.frozen), v+1)
+			}
+		}
+		return c
+	}
+	for lo < hi {
+		mid := lo + int64((uint64(hi)-uint64(lo))>>1)
+		if countLE(mid) >= k+1 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,227 @@
+// Package tpch generates synthetic TPC-H-shaped tables for the paper's
+// evaluation (§6.1). The official dbgen tool and its data files are not
+// available offline, so this generator reproduces the statistical shape the
+// experiments depend on: lineitem's date columns span roughly seven years,
+// part keys repeat with the 1:4 lineitem-to-part ratio, extended prices are
+// quantity-scaled, and receipt dates trail ship dates by 1–30 days. The
+// experiments only exercise ordering, duplicate factors and value
+// distributions — all preserved (see DESIGN.md §4, substitutions).
+package tpch
+
+import (
+	"math/rand"
+	"slices"
+
+	"holistic/internal/core"
+)
+
+// LineitemRowsPerSF is the lineitem row count at scale factor 1, matching
+// TPC-H's ~6M rows.
+const LineitemRowsPerSF = 6_000_000
+
+// Epoch day numbers bounding the TPC-H date range 1992-01-01 .. 1998-12-31.
+const (
+	startDate = 8035  // 1992-01-01 as days since Unix epoch
+	endDate   = 10592 // 1998-12-31
+)
+
+// Lineitem holds the generated lineitem columns needed by the evaluation.
+type Lineitem struct {
+	OrderKey      []int64
+	PartKey       []int64
+	SuppKey       []int64
+	Quantity      []int64
+	ExtendedPrice []float64
+	ShipDate      []int64 // days since epoch
+	CommitDate    []int64
+	ReceiptDate   []int64
+}
+
+// GenerateLineitem produces n lineitem rows with the given seed.
+func GenerateLineitem(n int, seed int64) *Lineitem {
+	rng := rand.New(rand.NewSource(seed))
+	l := &Lineitem{
+		OrderKey:      make([]int64, n),
+		PartKey:       make([]int64, n),
+		SuppKey:       make([]int64, n),
+		Quantity:      make([]int64, n),
+		ExtendedPrice: make([]float64, n),
+		ShipDate:      make([]int64, n),
+		CommitDate:    make([]int64, n),
+		ReceiptDate:   make([]int64, n),
+	}
+	numParts := n/4 + 1   // SF·200k parts per SF·800k lineitems… 1:4 ratio
+	numSupps := n/40 + 10 // 1:10 supplier-to-part ratio
+	orderKey := int64(1)
+	i := 0
+	for i < n {
+		// 1-7 lineitems per order, like dbgen.
+		perOrder := 1 + rng.Intn(7)
+		orderDate := startDate + rng.Intn(endDate-startDate-121)
+		for j := 0; j < perOrder && i < n; j++ {
+			l.OrderKey[i] = orderKey
+			part := rng.Int63n(int64(numParts))
+			l.PartKey[i] = part + 1
+			l.SuppKey[i] = rng.Int63n(int64(numSupps)) + 1
+			qty := rng.Int63n(50) + 1
+			l.Quantity[i] = qty
+			// retailprice(part) = 90000 + (part mod 20001) + 100·(part mod
+			// 1000) cents, dbgen's formula; extendedprice = qty · retail.
+			retail := 90000 + part%20001 + 100*(part%1000)
+			l.ExtendedPrice[i] = float64(qty*retail) / 100
+			ship := orderDate + 1 + rng.Intn(121)
+			l.ShipDate[i] = int64(ship)
+			l.CommitDate[i] = int64(orderDate + 30 + rng.Intn(61))
+			l.ReceiptDate[i] = int64(ship + 1 + rng.Intn(30))
+			i++
+		}
+		orderKey++
+	}
+	return l
+}
+
+// Table converts the lineitem data to a core.Table.
+func (l *Lineitem) Table() *core.Table {
+	return core.MustNewTable(
+		core.NewInt64Column("l_orderkey", l.OrderKey, nil),
+		core.NewInt64Column("l_partkey", l.PartKey, nil),
+		core.NewInt64Column("l_suppkey", l.SuppKey, nil),
+		core.NewInt64Column("l_quantity", l.Quantity, nil),
+		core.NewFloat64Column("l_extendedprice", l.ExtendedPrice, nil),
+		core.NewInt64Column("l_shipdate", l.ShipDate, nil),
+		core.NewInt64Column("l_commitdate", l.CommitDate, nil),
+		core.NewInt64Column("l_receiptdate", l.ReceiptDate, nil),
+	)
+}
+
+// Len returns the number of rows.
+func (l *Lineitem) Len() int { return len(l.OrderKey) }
+
+// Orders holds the generated orders columns used by the monthly-active-user
+// style queries of §1.
+type Orders struct {
+	OrderKey   []int64
+	CustKey    []int64
+	OrderDate  []int64
+	TotalPrice []float64
+}
+
+// GenerateOrders produces n orders rows.
+func GenerateOrders(n int, seed int64) *Orders {
+	rng := rand.New(rand.NewSource(seed))
+	o := &Orders{
+		OrderKey:   make([]int64, n),
+		CustKey:    make([]int64, n),
+		OrderDate:  make([]int64, n),
+		TotalPrice: make([]float64, n),
+	}
+	numCust := n/10 + 1
+	for i := 0; i < n; i++ {
+		o.OrderKey[i] = int64(i + 1)
+		o.CustKey[i] = rng.Int63n(int64(numCust)) + 1
+		o.OrderDate[i] = int64(startDate + rng.Intn(endDate-startDate))
+		o.TotalPrice[i] = float64(rng.Intn(50_000_000)) / 100
+	}
+	return o
+}
+
+// Table converts the orders data to a core.Table.
+func (o *Orders) Table() *core.Table {
+	return core.MustNewTable(
+		core.NewInt64Column("o_orderkey", o.OrderKey, nil),
+		core.NewInt64Column("o_custkey", o.CustKey, nil),
+		core.NewInt64Column("o_orderdate", o.OrderDate, nil),
+		core.NewFloat64Column("o_totalprice", o.TotalPrice, nil),
+	)
+}
+
+// TPCCResults holds a synthetic tpcc_results table for the historical
+// leaderboard query of §2.4.
+type TPCCResults struct {
+	System         []string
+	TPS            []float64
+	SubmissionDate []int64
+}
+
+// GenerateTPCCResults produces n benchmark submissions from a pool of
+// database systems whose performance grows over time (so early submissions
+// rank well against their contemporaries even when later systems dwarf
+// them — the effect the paper's query exposes).
+func GenerateTPCCResults(n int, seed int64) *TPCCResults {
+	rng := rand.New(rand.NewSource(seed))
+	systems := []string{
+		"OraSQL", "DBSquared", "HyperSonic", "TurboDB", "MaxData",
+		"QuickStore", "RelGine", "Fortress", "NimbleDB", "CoreBase",
+		"AstraSQL", "PeakRows", "VectorVault", "GridMart", "SwiftQL",
+	}
+	r := &TPCCResults{
+		System:         make([]string, n),
+		TPS:            make([]float64, n),
+		SubmissionDate: make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		day := int64(startDate) + int64(i)*int64(endDate-startDate)/int64(n+1) + int64(rng.Intn(30))
+		r.SubmissionDate[i] = day
+		r.System[i] = systems[rng.Intn(len(systems))]
+		// Throughput grows ~25x across the date range with noise.
+		progress := float64(day-startDate) / float64(endDate-startDate)
+		base := 1000 * (1 + 24*progress)
+		r.TPS[i] = base * (0.5 + rng.Float64())
+	}
+	return r
+}
+
+// Table converts the results to a core.Table.
+func (r *TPCCResults) Table() *core.Table {
+	return core.MustNewTable(
+		core.NewStringColumn("dbsystem", r.System, nil),
+		core.NewFloat64Column("tps", r.TPS, nil),
+		core.NewInt64Column("submission_date", r.SubmissionDate, nil),
+	)
+}
+
+// StockOrders generates the stock limit order book of §2.2's non-constant
+// frame bound example: each order has a placement time and a per-order
+// good_for validity interval.
+type StockOrders struct {
+	PlacementTime []int64 // seconds
+	GoodFor       []int64 // seconds the order stays valid
+	Price         []float64
+}
+
+// GenerateStockOrders produces n stock orders over one trading day.
+func GenerateStockOrders(n int, seed int64) *StockOrders {
+	rng := rand.New(rand.NewSource(seed))
+	s := &StockOrders{
+		PlacementTime: make([]int64, n),
+		GoodFor:       make([]int64, n),
+		Price:         make([]float64, n),
+	}
+	const tradingDay = 8 * 3600
+	price := 100.0
+	times := make([]int64, n)
+	for i := range times {
+		times[i] = rng.Int63n(tradingDay)
+	}
+	// Times arrive sorted so the random walk price is time-coherent.
+	slices.Sort(times)
+	for i := 0; i < n; i++ {
+		s.PlacementTime[i] = times[i]
+		s.GoodFor[i] = 30 + rng.Int63n(1800) // 30s .. 30min
+		price += rng.NormFloat64() * 0.05
+		if price < 1 {
+			price = 1
+		}
+		s.Price[i] = price
+	}
+	return s
+}
+
+// Table converts the stock orders to a core.Table.
+func (s *StockOrders) Table() *core.Table {
+	return core.MustNewTable(
+		core.NewInt64Column("placement_time", s.PlacementTime, nil),
+		core.NewInt64Column("good_for", s.GoodFor, nil),
+		core.NewFloat64Column("price", s.Price, nil),
+	)
+}

@@ -1,0 +1,124 @@
+package tpch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLineitemShape(t *testing.T) {
+	n := 50_000
+	l := GenerateLineitem(n, 1)
+	if l.Len() != n {
+		t.Fatalf("Len = %d, want %d", l.Len(), n)
+	}
+	parts := make(map[int64]struct{})
+	for i := 0; i < n; i++ {
+		if l.ShipDate[i] < startDate || l.ShipDate[i] > endDate+121 {
+			t.Fatalf("row %d: ship date %d outside TPC-H range", i, l.ShipDate[i])
+		}
+		gap := l.ReceiptDate[i] - l.ShipDate[i]
+		if gap < 1 || gap > 30 {
+			t.Fatalf("row %d: receipt-ship gap %d outside 1..30", i, gap)
+		}
+		if l.Quantity[i] < 1 || l.Quantity[i] > 50 {
+			t.Fatalf("row %d: quantity %d", i, l.Quantity[i])
+		}
+		if l.ExtendedPrice[i] <= 0 {
+			t.Fatalf("row %d: price %v", i, l.ExtendedPrice[i])
+		}
+		parts[l.PartKey[i]] = struct{}{}
+	}
+	// ~1:4 lineitem to part ratio: distinct parts should be a large
+	// fraction of n/4.
+	ratio := float64(len(parts)) / float64(n)
+	if ratio < 0.15 || ratio > 0.3 {
+		t.Fatalf("distinct part ratio %.3f outside [0.15, 0.3]", ratio)
+	}
+	// Orders group 1..7 lineitems.
+	orderSizes := make(map[int64]int)
+	for _, k := range l.OrderKey {
+		orderSizes[k]++
+	}
+	for k, s := range orderSizes {
+		if s < 1 || s > 7 {
+			t.Fatalf("order %d has %d lineitems", k, s)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := GenerateLineitem(1000, 7)
+	b := GenerateLineitem(1000, 7)
+	for i := 0; i < 1000; i++ {
+		if a.PartKey[i] != b.PartKey[i] || a.ShipDate[i] != b.ShipDate[i] {
+			t.Fatal("generation is not deterministic for equal seeds")
+		}
+	}
+	c := GenerateLineitem(1000, 8)
+	same := true
+	for i := 0; i < 1000; i++ {
+		if a.PartKey[i] != c.PartKey[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestTables(t *testing.T) {
+	lt := GenerateLineitem(100, 1).Table()
+	if lt.Rows() != 100 || lt.Column("l_extendedprice") == nil {
+		t.Fatal("lineitem table malformed")
+	}
+	ot := GenerateOrders(100, 1).Table()
+	if ot.Rows() != 100 || ot.Column("o_custkey") == nil {
+		t.Fatal("orders table malformed")
+	}
+	rt := GenerateTPCCResults(100, 1).Table()
+	if rt.Rows() != 100 || rt.Column("tps") == nil {
+		t.Fatal("tpcc_results table malformed")
+	}
+	st := GenerateStockOrders(100, 1).Table()
+	if st.Rows() != 100 || st.Column("good_for") == nil {
+		t.Fatal("stock_orders table malformed")
+	}
+}
+
+func TestTPCCResultsTrend(t *testing.T) {
+	r := GenerateTPCCResults(2000, 3)
+	// Submissions are date-ordered and performance trends upward: the last
+	// decile should clearly outperform the first.
+	var early, late float64
+	for i := 0; i < 200; i++ {
+		early += r.TPS[i]
+		late += r.TPS[len(r.TPS)-1-i]
+	}
+	if late < 5*early {
+		t.Fatalf("no clear performance trend: early %.0f late %.0f", early, late)
+	}
+	for i := 1; i < len(r.SubmissionDate); i++ {
+		if r.SubmissionDate[i] < r.SubmissionDate[i-1]-30 {
+			t.Fatalf("submission dates not roughly increasing at %d", i)
+		}
+	}
+}
+
+func TestStockOrders(t *testing.T) {
+	s := GenerateStockOrders(5000, 4)
+	for i := 0; i < 5000; i++ {
+		if s.GoodFor[i] < 30 || s.GoodFor[i] > 1830 {
+			t.Fatalf("good_for %d outside range", s.GoodFor[i])
+		}
+		if s.Price[i] < 1 {
+			t.Fatalf("price %v below floor", s.Price[i])
+		}
+		if i > 0 && s.PlacementTime[i] < s.PlacementTime[i-1] {
+			t.Fatal("placement times not sorted")
+		}
+		if math.IsNaN(s.Price[i]) {
+			t.Fatal("NaN price")
+		}
+	}
+}

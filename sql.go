@@ -1,0 +1,58 @@
+package holistic
+
+import (
+	"holistic/internal/core"
+	"holistic/internal/sqlparse"
+)
+
+// RunSQL parses and evaluates one SELECT statement written in the SQL
+// dialect the paper proposes (§2.4): window functions compose freely with
+// frames, DISTINCT arguments, function-level ORDER BY, FILTER and
+// IGNORE NULLS. The statement's FROM clause names a key of tables.
+//
+//	res, err := holistic.RunSQL(`
+//	    select dbsystem, tps,
+//	           count(distinct dbsystem) over w,
+//	           rank(order by tps desc) over w as r
+//	    from tpcc_results
+//	    window w as (order by submission_date
+//	                 range between unbounded preceding and current row)`,
+//	    map[string]*holistic.Table{"tpcc_results": table})
+//
+// The result table holds one column per select-list item in select order;
+// unaliased function calls are named after the function, uniquified with a
+// numeric suffix on collision. Interval literals like '1 month' in RANGE
+// offsets are converted to day counts (day/week/month≈30/year≈365), since
+// the examples' order keys are day numbers.
+//
+// Functions sharing a window definition are evaluated by one window
+// operator invocation, so partitioning and sorting happen once per distinct
+// window (the Kohn et al. optimization §3.1 cites).
+func RunSQL(query string, tables map[string]*Table) (*Table, error) {
+	return RunSQLOptions(query, tables, Options{})
+}
+
+// RunSQLOptions is RunSQL with explicit execution options.
+func RunSQLOptions(query string, tables map[string]*Table, opt Options) (*Table, error) {
+	q, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	src := make(map[string]*core.Table, len(tables))
+	for name, t := range tables {
+		src[name] = t
+	}
+	return sqlparse.Execute(q, src, opt)
+}
+
+// ExplainSQL renders the evaluation plan of a statement without running it:
+// how the select list groups into window-operator invocations (windows
+// sharing partitioning and ordering share one sort), each function's frame,
+// and the §4 algorithm it runs.
+func ExplainSQL(query string) (string, error) {
+	q, err := sqlparse.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	return sqlparse.Explain(q)
+}
