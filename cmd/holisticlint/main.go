@@ -1,0 +1,83 @@
+// Command holisticlint runs the repo's custom static-analysis suite (see
+// internal/analysis): parallelbody, nopanic, framebounds, sortstability
+// and lintdirective.
+//
+// Two modes:
+//
+//	holisticlint ./...                          standalone, from source
+//	go vet -vettool=$(which holisticlint) ./... as a vet driver
+//
+// The standalone mode type-checks the enclosing module from source (no
+// export data needed); the vet mode speaks cmd/go's -vettool protocol and
+// reuses the export data go vet provides, so it composes with build
+// caching. Both exit non-zero when findings are reported, which is what
+// the CI lint gate keys off.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"holistic/internal/analysis"
+	"holistic/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	analyzers := suite.All()
+
+	// Protocol flags cmd/go probes before the real run.
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			analysis.PrintVersion(os.Stdout, "holisticlint")
+			return 0
+		case arg == "-flags" || arg == "--flags":
+			analysis.PrintFlags(os.Stdout)
+			return 0
+		case arg == "-h" || arg == "-help" || arg == "--help":
+			usage()
+			return 0
+		}
+	}
+
+	// go vet hands us a single JSON config file per package.
+	if len(args) > 0 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		return analysis.RunVet(analyzers, args[len(args)-1], os.Stderr)
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	count, err := analysis.RunStandalone(analyzers, cwd, patterns, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if count > 0 {
+		fmt.Fprintf(os.Stderr, "holisticlint: %d finding(s)\n", count)
+		return 2
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Println(`usage:
+  holisticlint [packages]                       analyze packages (default ./...)
+  go vet -vettool=$(which holisticlint) ./...   run as a vet driver
+
+analyzers:`)
+	for _, a := range suite.All() {
+		fmt.Printf("  %-14s %s\n", a.Name, a.Doc)
+	}
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// RunStandalone loads the requested packages of the enclosing module from
+// source, applies the analyzers, and prints findings to out in the usual
+// file:line:col format. It returns the number of findings. Patterns are
+// `./...` (every package of the module containing dir) or package
+// directories relative to dir.
+func RunStandalone(analyzers []*Analyzer, dir string, patterns []string, out io.Writer) (int, error) {
+	root, modPath, err := FindModule(dir)
+	if err != nil {
+		return 0, err
+	}
+	loader := NewLoader(root, modPath)
+
+	var paths []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "..." {
+			all, err := loader.ModulePackages()
+			if err != nil {
+				return 0, err
+			}
+			for _, p := range all {
+				add(p)
+			}
+			continue
+		}
+		abs, err := filepath.Abs(filepath.Join(dir, pat))
+		if err != nil {
+			return 0, err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return 0, fmt.Errorf("analysis: %s is outside module %s", pat, modPath)
+		}
+		if rel == "." {
+			add(modPath)
+		} else {
+			add(modPath + "/" + filepath.ToSlash(rel))
+		}
+	}
+
+	count := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return count, err
+		}
+		for _, d := range RunPackage(analyzers, pkg.Fset, pkg.Files, pkg.Types, pkg.Info) {
+			fmt.Fprintf(out, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			count++
+		}
+	}
+	return count, nil
+}

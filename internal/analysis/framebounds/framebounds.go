@@ -1,0 +1,109 @@
+// Package framebounds keeps window-frame boundary arithmetic inside the
+// canonical helpers. Frame clamping is where EXCLUDE/ROWS/RANGE/GROUPS
+// edge cases hide (empty frames, saturating RANGE offsets, peer-group
+// clipping — §2.2/§4.7), so internal/frame owns all of it:
+// frame.Computer.Bounds clamps, frame.Computer.Ranges decomposes after
+// exclusion, and nothing else in the tree is allowed to re-derive them.
+//
+// The analyzer reports, outside internal/frame and framespec.go:
+//
+//   - raw ordered comparisons (`<`, `<=`, `>`, `>=`) against a variable
+//     named like a frame bound (frameStart, frameEnd, frameLo, frameHi,
+//     case-insensitive), and
+//   - manual clamping of such a variable with the min/max builtins.
+//
+// Call sites that intentionally post-process canonical bounds annotate
+// with `//lint:framebounds-ok <reason>`; the reason is mandatory.
+package framebounds
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"holistic/internal/analysis"
+)
+
+// Analyzer is the framebounds analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "framebounds",
+	Doc:  "reports raw frame-bound comparisons and manual clamping outside internal/frame",
+	Run:  run,
+}
+
+// boundNames are the lower-cased identifier names treated as frame
+// boundaries.
+var boundNames = map[string]bool{
+	"framestart": true,
+	"frameend":   true,
+	"framelo":    true,
+	"framehi":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/frame") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if filepath.Base(pass.Position(file.Pos()).Filename) == "framespec.go" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				default:
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if name, ok := boundName(side); ok {
+						report(pass, n.Pos(), "raw frame-bound comparison on %q; frame edge cases belong in internal/frame — use frame.Computer.Bounds/Ranges", name)
+						break
+					}
+				}
+			case *ast.CallExpr:
+				id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+				if !ok || (id.Name != "min" && id.Name != "max") {
+					return true
+				}
+				if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); !isBuiltin {
+					return true
+				}
+				for _, arg := range n.Args {
+					if name, ok := boundName(arg); ok {
+						report(pass, n.Pos(), "manual clamping of frame bound %q with %s; use the clamped values from frame.Computer.Bounds", name, id.Name)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	pass.ReportBareDirectives(analysis.DirectiveFrameBoundsOK)
+	return nil
+}
+
+func report(pass *analysis.Pass, pos token.Pos, format string, args ...any) {
+	if _, ok := pass.Suppression(pos, analysis.DirectiveFrameBoundsOK); ok {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// boundName reports whether the expression is an identifier or field
+// selection named like a frame bound.
+func boundName(e ast.Expr) (string, bool) {
+	var name string
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return "", false
+	}
+	return name, boundNames[strings.ToLower(name)]
+}

@@ -1,0 +1,12 @@
+package framebounds_test
+
+import (
+	"testing"
+
+	"holistic/internal/analysis/analysistest"
+	"holistic/internal/analysis/framebounds"
+)
+
+func TestFrameBounds(t *testing.T) {
+	analysistest.Run(t, "testdata", framebounds.Analyzer, "a", "x/internal/frame")
+}

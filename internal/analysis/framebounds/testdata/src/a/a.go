@@ -1,0 +1,42 @@
+// Package a exercises framebounds: raw frame-bound comparisons and manual
+// clamping outside internal/frame are findings.
+package a
+
+func clampByHand(frameStart, frameEnd, n int) (int, int) {
+	if frameStart < 0 { // want "raw frame-bound comparison"
+		frameStart = 0
+	}
+	if frameEnd > n { // want "raw frame-bound comparison"
+		frameEnd = n
+	}
+	return frameStart, frameEnd
+}
+
+func clampWithBuiltins(frameLo, frameHi, n int) (int, int) {
+	return max(frameLo, 0), min(frameHi, n) // want "manual clamping" "manual clamping"
+}
+
+type window struct{ frameStart, frameEnd int }
+
+func fieldComparison(w window) bool {
+	return w.frameStart <= w.frameEnd // want "raw frame-bound comparison"
+}
+
+func suppressed(frameStart int) bool {
+	//lint:framebounds-ok competitor engine probes the raw bound for its own pruning heuristic; canonical clamping happens upstream
+	return frameStart < 0
+}
+
+func bareHatchIsAFinding(frameHi int) bool {
+	return frameHi > 0 //lint:framebounds-ok // want "needs a justification string"
+}
+
+func unrelatedNamesAreFine(start, end, n int) (int, int) {
+	if start < 0 {
+		start = 0
+	}
+	if end > n {
+		end = n
+	}
+	return start, end
+}

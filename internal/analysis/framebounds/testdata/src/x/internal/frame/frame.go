@@ -1,0 +1,13 @@
+// Package frame stands in for internal/frame: the canonical owner of
+// frame-bound arithmetic is exempt wholesale.
+package frame
+
+func Clamp(frameStart, frameEnd, n int) (int, int) {
+	if frameStart < 0 {
+		frameStart = 0
+	}
+	if frameEnd > n {
+		frameEnd = n
+	}
+	return frameStart, frameEnd
+}

@@ -1,0 +1,12 @@
+package lintdirective_test
+
+import (
+	"testing"
+
+	"holistic/internal/analysis/analysistest"
+	"holistic/internal/analysis/lintdirective"
+)
+
+func TestLintDirective(t *testing.T) {
+	analysistest.Run(t, "testdata", lintdirective.Analyzer, "a")
+}

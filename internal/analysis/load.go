@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages from source, resolving
+// module-internal imports against the module tree, extra roots (used by
+// analysistest for its testdata packages) against their registered
+// directories, and everything else (the standard library) through the
+// go/importer source importer. No export data or network access is
+// required, which keeps the linter runnable in hermetic environments.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleRoot string
+	// Extra maps additional import paths to directories; analysistest
+	// registers testdata packages here.
+	Extra map[string]string
+
+	std  types.Importer
+	pkgs map[string]*Package
+	busy map[string]bool
+}
+
+// NewLoader builds a loader for the module rooted at moduleRoot.
+func NewLoader(moduleRoot, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modulePath,
+		ModuleRoot: moduleRoot,
+		Extra:      map[string]string{},
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		busy:       map[string]bool{},
+	}
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// resolveDir maps an import path to a source directory, or "" when the
+// path is not provided by the module or the extra roots.
+func (l *Loader) resolveDir(path string) string {
+	if dir, ok := l.Extra[path]; ok {
+		return dir
+	}
+	if path == l.ModulePath {
+		return l.ModuleRoot
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// Load parses and type-checks the package with the given import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := l.resolveDir(path)
+	if dir == "" {
+		return nil, fmt.Errorf("analysis: cannot resolve import %q", path)
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importerFunc(func(imp string) (*types.Package, error) {
+		if l.resolveDir(imp) != "" {
+			p, err := l.Load(imp)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+		return l.std.Import(imp)
+	})}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// parseDir parses every non-test .go file of the package in dir.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// ModulePackages lists the import paths of every package in the module,
+// skipping testdata and hidden directories — the same set `go list ./...`
+// reports.
+func (l *Loader) ModulePackages() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.ModuleRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != l.ModuleRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModuleRoot, filepath.Dir(p))
+		if err != nil {
+			return err
+		}
+		imp := l.ModulePath
+		if rel != "." {
+			imp = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		if len(paths) == 0 || paths[len(paths)-1] != imp {
+			paths = append(paths, imp)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,65 @@
+// Package nopanic enforces the error-handling convention of the library
+// packages: they return errors, they don't panic. A panic that crosses the
+// package boundary takes down the whole process — unacceptable for a
+// long-running server evaluating untrusted queries.
+//
+// The analyzer reports every call to the builtin panic in importable
+// (non-main, non-cmd) packages. Genuine invariant assertions — places
+// where the caller's contract makes the condition impossible and
+// continuing would corrupt results — are annotated with
+// `//lint:invariant <proof sketch>` on the panic line or the line above;
+// the justification string is mandatory.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"holistic/internal/analysis"
+)
+
+// Analyzer is the nopanic analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "reports panic calls in library packages; return an error or annotate with //lint:invariant",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if exempt(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); !isBuiltin {
+				return true // a local function that shadows the builtin
+			}
+			if _, ok := pass.Suppression(call.Pos(), analysis.DirectiveInvariant); ok {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic in library package %s; return an error, or mark an impossible condition with //lint:invariant <proof>", pass.Pkg.Path())
+			return true
+		})
+	}
+	pass.ReportBareDirectives(analysis.DirectiveInvariant)
+	return nil
+}
+
+// exempt reports whether the package is outside nopanic's scope: command
+// binaries (main packages, anything under a cmd/ tree) may panic freely.
+func exempt(pass *analysis.Pass) bool {
+	if pass.Pkg.Name() == "main" {
+		return true
+	}
+	path := pass.Pkg.Path()
+	return strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
+}

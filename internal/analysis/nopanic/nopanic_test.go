@@ -1,0 +1,12 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"holistic/internal/analysis/analysistest"
+	"holistic/internal/analysis/nopanic"
+)
+
+func TestNoPanic(t *testing.T) {
+	analysistest.Run(t, "testdata", nopanic.Analyzer, "a", "cmd/tool", "mainpkg")
+}

@@ -1,0 +1,38 @@
+// Package a exercises nopanic: library panics are findings, returned
+// errors and annotated invariants are not.
+package a
+
+import "errors"
+
+func bad(x int) {
+	if x < 0 {
+		panic("negative") // want "panic in library package"
+	}
+}
+
+func badWrapped(err error) {
+	panic(err) // want "panic in library package"
+}
+
+func good(x int) error {
+	if x < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}
+
+func annotatedInvariant(idx, n int) {
+	if idx >= n {
+		//lint:invariant idx was bounds-checked by the exported entry point; overrunning would corrupt neighbouring columns
+		panic("index out of range")
+	}
+}
+
+func bareHatchIsAFinding() {
+	panic("boom") //lint:invariant // want "needs a justification string"
+}
+
+func shadowedPanicIsNotTheBuiltin() {
+	panic := func(string) {}
+	panic("fine")
+}

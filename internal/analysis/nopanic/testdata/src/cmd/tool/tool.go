@@ -1,0 +1,9 @@
+// Package tool lives under a cmd/ tree, where panics are allowed: a
+// binary crashing loudly on startup misconfiguration is the convention.
+package tool
+
+func Run(args []string) {
+	if len(args) == 0 {
+		panic("usage: tool <file>")
+	}
+}

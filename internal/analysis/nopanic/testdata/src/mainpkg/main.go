@@ -1,0 +1,6 @@
+// Command mainpkg shows that main packages are exempt from nopanic.
+package main
+
+func main() {
+	panic("binaries may panic")
+}

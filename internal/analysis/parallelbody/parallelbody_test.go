@@ -1,0 +1,12 @@
+package parallelbody_test
+
+import (
+	"testing"
+
+	"holistic/internal/analysis/analysistest"
+	"holistic/internal/analysis/parallelbody"
+)
+
+func TestParallelBody(t *testing.T) {
+	analysistest.Run(t, "testdata", parallelbody.Analyzer, "a", "b")
+}

@@ -1,0 +1,72 @@
+// Package a exercises the parallelbody true positives: every flavour of
+// non-disjoint write to captured state inside task closures.
+package a
+
+import (
+	"holistic/internal/parallel"
+)
+
+func positives(n int) int {
+	total := 0
+	var out []int
+	seen := map[int]bool{}
+	var last int
+	parallel.For(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += i           // want "non-atomic compound update of captured variable"
+			out = append(out, i) // want "append to captured slice"
+			seen[i] = true       // want "write to captured map"
+			last = i             // want "assignment to captured variable"
+		}
+	})
+	return total + last + len(out) + len(seen)
+}
+
+func counter(n int) int {
+	count := 0
+	parallel.ForEach(n, func(task int) {
+		count++ // want "non-atomic increment of captured variable"
+	})
+	return count
+}
+
+type stats struct{ maxSeen int }
+
+func structWrites() {
+	var s stats
+	p := &s.maxSeen
+	parallel.Run(func() {
+		s.maxSeen = 1 // want "write to field"
+		*p = 2        // want "write through captured pointer"
+	})
+}
+
+func viaLocalVariable(n int) int {
+	var racy int
+	body := func(lo, hi int) {
+		racy = hi // want "assignment to captured variable"
+	}
+	parallel.For(n, 0, body)
+	return racy
+}
+
+func indexedWritesAreDisjoint(n int) []int {
+	out := make([]int, n)
+	sums := make([]int, n)
+	parallel.For(n, 0, func(lo, hi int) {
+		acc := 0 // task-local state is fine
+		for i := lo; i < hi; i++ {
+			out[i] = i * i // indexed write into a captured slice: disjoint by contract
+			acc += i
+			sums[i] = acc
+		}
+	})
+	return out
+}
+
+func serialCallersAreNotFlagged() int {
+	apply := func(body func(lo, hi int)) { body(0, 1) }
+	x := 0
+	apply(func(lo, hi int) { x = hi }) // plain call, not a parallel entry point
+	return x
+}

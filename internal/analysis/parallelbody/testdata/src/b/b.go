@@ -1,0 +1,64 @@
+// Package b exercises the parallelbody escape hatches: the
+// //lint:parallel-safe suppression (with and without the mandatory
+// justification) and the //lint:parallel-entry relay marker.
+package b
+
+import (
+	"sync"
+
+	"holistic/internal/parallel"
+)
+
+func suppressedOnLine(n int) int {
+	var mu sync.Mutex
+	total := 0
+	parallel.For(n, 0, func(lo, hi int) {
+		mu.Lock()
+		total += hi - lo //lint:parallel-safe the update is guarded by mu, the analyzer cannot see lock scopes
+		mu.Unlock()
+	})
+	return total
+}
+
+func suppressedOnCall(n int) int {
+	shared := 0
+	//lint:parallel-safe SetMaxWorkers(1) pins this loop to one worker in the enclosing benchmark harness
+	parallel.For(n, 0, func(lo, hi int) {
+		shared = hi
+	})
+	return shared
+}
+
+func bareHatchIsAFinding(n int) int {
+	shared := 0
+	parallel.ForEach(n, func(task int) {
+		shared = task //lint:parallel-safe // want "needs a justification string"
+	})
+	return shared
+}
+
+// apply relays its closure to parallel.For, so closures handed to it are
+// analyzed under the same disjointness contract.
+//
+//lint:parallel-entry
+func apply(n int, body func(lo, hi int)) {
+	parallel.For(n, 0, body)
+}
+
+func entryPointIsChecked(n int) int {
+	var racy int
+	apply(n, func(lo, hi int) {
+		racy = lo // want "assignment to captured variable"
+	})
+	return racy
+}
+
+func entryPointDisjointIsFine(n int) []int {
+	out := make([]int, n)
+	apply(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = i
+		}
+	})
+	return out
+}

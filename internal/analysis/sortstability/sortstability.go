@@ -1,0 +1,84 @@
+// Package sortstability protects the ordering invariant the merge sort
+// tree construction rests on: tuples and runs must be ordered with stable,
+// position-disambiguated comparators. Algorithm 1 and the run merges of
+// §4.2/§5.2 identify tuples by their position in the sorted partition;
+// an unstable sort that reorders equal keys silently permutes those
+// positions and corrupts counts, ranks and fractional-cascading samples.
+//
+// Inside internal/mst, internal/sortutil and internal/core the analyzer
+// reports calls to the unstable standard-library sorts — sort.Slice,
+// sort.Sort, slices.Sort and slices.SortFunc — steering call sites to
+// sort.SliceStable / slices.SortStableFunc or to the sortutil comparators
+// that break ties on tuple position.
+//
+// Sites whose comparator is already total (so stability is vacuous)
+// annotate with `//lint:sortstability-ok <reason>`; the reason is
+// mandatory.
+package sortstability
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"holistic/internal/analysis"
+)
+
+// Analyzer is the sortstability analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "sortstability",
+	Doc:  "reports unstable standard-library sorts on tuple/run data in the MST packages",
+	Run:  run,
+}
+
+// restricted are the import-path fragments of the packages whose tuple
+// and run data carries positional meaning.
+var restricted = []string{"internal/mst", "internal/sortutil", "internal/core"}
+
+// unstable maps package path -> function names of the unstable sorts.
+var unstable = map[string]map[string]bool{
+	"sort":   {"Slice": true, "Sort": true},
+	"slices": {"Sort": true, "SortFunc": true},
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			names, ok := unstable[fn.Pkg().Path()]
+			if !ok || !names[fn.Name()] {
+				return true
+			}
+			if _, ok := pass.Suppression(call.Pos(), analysis.DirectiveSortStableOK); ok {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s.%s is unstable; MST tuple/run order is position-disambiguated — use sort.SliceStable, slices.SortStableFunc or a position tie-breaking comparator (or annotate //lint:sortstability-ok <reason> if the comparator is total)", fn.Pkg().Name(), fn.Name())
+			return true
+		})
+	}
+	pass.ReportBareDirectives(analysis.DirectiveSortStableOK)
+	return nil
+}
+
+func inScope(path string) bool {
+	for _, frag := range restricted {
+		if strings.HasSuffix(path, frag) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package sortstability_test
+
+import (
+	"testing"
+
+	"holistic/internal/analysis/analysistest"
+	"holistic/internal/analysis/sortstability"
+)
+
+func TestSortStability(t *testing.T) {
+	analysistest.Run(t, "testdata", sortstability.Analyzer, "m/internal/mst", "other")
+}

@@ -1,0 +1,38 @@
+// Package mst stands in for the MST packages, where tuple/run order is
+// position-disambiguated and unstable sorts are findings.
+package mst
+
+import (
+	"slices"
+	"sort"
+)
+
+type run struct {
+	key int64
+	pos int
+}
+
+func unstableSorts(keys []int64, runs []run) {
+	slices.Sort(keys)                                                            // want "unstable"
+	slices.SortFunc(runs, func(a, b run) int { return int(a.key) - int(b.key) }) // want "unstable"
+	sort.Slice(runs, func(i, j int) bool { return runs[i].key < runs[j].key })   // want "unstable"
+}
+
+func stableSortsAreFine(runs []run) {
+	sort.SliceStable(runs, func(i, j int) bool { return runs[i].key < runs[j].key })
+	slices.SortStableFunc(runs, func(a, b run) int { return int(a.key - b.key) })
+}
+
+func positionDisambiguated(runs []run) {
+	//lint:sortstability-ok the comparator is total: equal keys are ordered by tuple position, so stability is vacuous
+	slices.SortFunc(runs, func(a, b run) int {
+		if a.key != b.key {
+			return int(a.key - b.key)
+		}
+		return a.pos - b.pos
+	})
+}
+
+func bareHatchIsAFinding(keys []int64) {
+	slices.Sort(keys) //lint:sortstability-ok // want "needs a justification string"
+}

@@ -1,0 +1,10 @@
+// Package other is outside the MST packages; unstable sorts on
+// position-free data are the caller's business.
+package other
+
+import "slices"
+
+func Sorted(xs []int) []int {
+	slices.Sort(xs)
+	return xs
+}

@@ -1,0 +1,24 @@
+// Package suite registers the holisticlint analyzers. cmd/holisticlint
+// and the repo-wide regression test both consume this list, so adding an
+// analyzer here wires it into the CLI, go vet, and CI at once.
+package suite
+
+import (
+	"holistic/internal/analysis"
+	"holistic/internal/analysis/framebounds"
+	"holistic/internal/analysis/lintdirective"
+	"holistic/internal/analysis/nopanic"
+	"holistic/internal/analysis/parallelbody"
+	"holistic/internal/analysis/sortstability"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		framebounds.Analyzer,
+		lintdirective.Analyzer,
+		nopanic.Analyzer,
+		parallelbody.Analyzer,
+		sortstability.Analyzer,
+	}
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` driver protocol, the
+// standard-library twin of golang.org/x/tools/go/analysis/unitchecker
+// (which this module deliberately does not depend on). cmd/go invokes the
+// tool three ways:
+//
+//	tool -V=full        print an identity line for the build cache key
+//	tool -flags         print the tool's flags as JSON for validation
+//	tool [flags] x.cfg  analyze one package described by the JSON config
+//
+// The config names the package's files and maps each import to the export
+// data cmd/go already compiled, so type-checking uses the gc importer
+// with a lookup function — no source re-typechecking and no network.
+// Findings print to stderr as file:line:col lines and the process exits
+// with status 2, which go vet relays as a build failure (our CI gate).
+
+// VetConfig mirrors the JSON configuration cmd/go passes to -vettool
+// drivers (see cmd/go/internal/work and x/tools unitchecker.Config).
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion writes the -V=full identity line cmd/go hashes into its
+// build cache key: name, "version", and a build ID derived from the
+// executable's contents, in the exact shape toolID expects.
+func PrintVersion(out io.Writer, progname string) {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%02x", sum[:])
+		}
+	}
+	fmt.Fprintf(out, "%s version devel comments-go-here buildID=%s\n", progname, id)
+}
+
+// PrintFlags writes the -flags JSON description of the tool's flags; the
+// suite defines none beyond the protocol flags cmd/go already knows.
+func PrintFlags(out io.Writer) {
+	fmt.Fprintln(out, "[]")
+}
+
+// RunVet analyzes the single package described by cfgFile and returns the
+// process exit code: 0 for success, 1 for driver errors, 2 when findings
+// were reported (matching go vet's convention).
+func RunVet(analyzers []*Analyzer, cfgFile string, stderr io.Writer) int {
+	cfg, err := readVetConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	// The suite exports no cross-package facts, but cmd/go requires the
+	// facts file to exist for caching; write it before anything can fail.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("{}\n"), 0o666); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tconf := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	diags := RunPackage(analyzers, fset, files, pkg, info)
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s (%s)\n", relPosition(fset, d.Pos, cfg.Dir), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func readVetConfig(cfgFile string) (*VetConfig, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", cfgFile, err)
+	}
+	return cfg, nil
+}
+
+// relPosition shortens absolute file names to be relative to the package
+// directory's module, matching go vet's diagnostic style.
+func relPosition(fset *token.FileSet, pos token.Pos, dir string) string {
+	p := fset.Position(pos)
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			p.Filename = rel
+		}
+	}
+	return p.String()
+}

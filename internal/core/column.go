@@ -226,9 +226,11 @@ func NewTable(cols ...*Column) (*Table, error) {
 }
 
 // MustNewTable is NewTable that panics on error, for tests and examples.
+// Production call sites use NewTable and handle the error.
 func MustNewTable(cols ...*Column) *Table {
 	t, err := NewTable(cols...)
 	if err != nil {
+		//lint:invariant Must* contract: the caller opted into panicking on malformed columns instead of handling the error
 		panic(err)
 	}
 	return t

@@ -204,7 +204,10 @@ func evalFunc(p *partition, f *FuncSpec, out *outBuilder, opt Options, prof *Pro
 	return fmt.Errorf("unknown engine %v", f.Engine)
 }
 
-// forEachRow runs body over all partition rows in parallel tasks.
+// forEachRow runs body over all partition rows in parallel tasks; body is
+// subject to the same disjointness contract as parallel.For bodies.
+//
+//lint:parallel-entry
 func forEachRow(p *partition, opt Options, body func(lo, hi int)) {
 	parallel.For(p.len(), opt.taskSize(), body)
 }

@@ -148,6 +148,7 @@ func (t *tree[P]) selectKth(vLo, vHi P, i int) (int, bool) {
 			}
 		}
 		if !descended {
+			//lint:invariant SelectKth verified i < count at the root, so every level's children jointly contain the i-th element; losing it means corrupted cascade samples
 			panic(fmt.Sprintf("mst: selectKth descent lost element (level=%d run=%d i=%d)", level, r, i))
 		}
 	}

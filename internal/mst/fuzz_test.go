@@ -1,0 +1,82 @@
+package mst
+
+import (
+	"testing"
+)
+
+// FuzzCountSelect cross-checks the tree's count and select queries against
+// brute force over fuzzer-chosen inputs, tree options and query arguments.
+// CI runs it as a smoke pass on main pushes; `go test -fuzz=FuzzCountSelect
+// ./internal/mst/` digs deeper locally.
+func FuzzCountSelect(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 250, 0, 0, 9}, 0, 7, int64(4), 2, uint8(0), uint8(0), uint8(0))
+	f.Add([]byte{5, 5, 5, 5}, 1, 3, int64(5), 0, uint8(3), uint8(2), uint8(1))
+	f.Add([]byte{}, 0, 0, int64(0), 0, uint8(2), uint8(1), uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, lo, hi int, threshold int64, k int, fanout, sampleEvery, flags uint8) {
+		keys := make([]int64, len(data))
+		for i, b := range data {
+			// Non-negative keys per Build's contract; spread a few values
+			// past the 32-bit boundary to exercise the 64-bit payload path.
+			keys[i] = int64(b)
+			if b >= 250 {
+				keys[i] = int64(b) << 24
+			}
+		}
+		opt := Options{
+			Fanout:      2 + int(fanout%7),
+			SampleEvery: 1 + int(sampleEvery%15),
+			NoCascading: flags&1 != 0,
+			Force64:     flags&2 != 0,
+			Serial:      flags&4 != 0,
+		}
+		tree, err := Build(keys, opt)
+		if err != nil {
+			t.Fatalf("Build(%d keys, %+v): %v", len(keys), opt, err)
+		}
+
+		got := tree.CountBelow(lo, hi, threshold)
+		want := 0
+		cLo, cHi := clampRange(lo, hi, len(keys))
+		for _, v := range keys[cLo:cHi] {
+			if v < threshold {
+				want++
+			}
+		}
+		if got != want {
+			t.Errorf("CountBelow(%d, %d, %d) = %d, brute force %d (opt %+v)", lo, hi, threshold, got, want, opt)
+		}
+
+		// Select the k-th entry by value range [0, threshold); compare
+		// against a brute-force scan in position order.
+		pos, ok := tree.SelectKth(0, threshold, k)
+		wantPos, wantOK := 0, false
+		if k >= 0 {
+			seen := 0
+			for i, v := range keys {
+				if v >= 0 && v < threshold {
+					if seen == k {
+						wantPos, wantOK = i, true
+						break
+					}
+					seen++
+				}
+			}
+		}
+		if ok != wantOK || (ok && pos != wantPos) {
+			t.Errorf("SelectKth(0, %d, %d) = (%d, %v), brute force (%d, %v) (opt %+v)", threshold, k, pos, ok, wantPos, wantOK, opt)
+		}
+	})
+}
+
+func clampRange(lo, hi, n int) (int, int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo > hi {
+		return 0, 0
+	}
+	return lo, hi
+}

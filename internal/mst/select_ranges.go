@@ -18,6 +18,7 @@ func (t *Tree) SelectKthRanges(ranges [][2]int64, i int) (pos int, ok bool) {
 		return 0, false
 	}
 	if len(ranges) > maxSelectRanges {
+		//lint:invariant frame exclusion yields at most 3 ranges (§4.7); more is a window-operator bug, and truncating would silently mis-select
 		panic(fmt.Sprintf("mst: SelectKthRanges got %d ranges, max %d", len(ranges), maxSelectRanges))
 	}
 	if len(ranges) == 1 {
@@ -101,6 +102,7 @@ func selectKthMulti[P payload](t *tree[P], bounds [][2]P, i int) (int, bool) {
 			i -= cnt
 		}
 		if !descended {
+			//lint:invariant the caller-checked rank i is < the root count, so some child run must contain the i-th element; losing it means corrupted cascade samples
 			panic("mst: SelectKthRanges descent lost element")
 		}
 	}

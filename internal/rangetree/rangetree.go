@@ -22,6 +22,7 @@ package rangetree
 
 import (
 	"fmt"
+	"sync"
 
 	"holistic/internal/mst"
 	"holistic/internal/parallel"
@@ -66,7 +67,17 @@ func New(ranks, prevIdcs []int64, opt mst.Options) (*DenseRankTree, error) {
 	for band*2 <= n-1 {
 		band *= 2
 	}
+	// Inner-tree builds can fail (element limit); the first error wins.
+	// The write is mutex-guarded because band tasks run concurrently.
+	var errMu sync.Mutex
 	var buildErr error
+	setErr := func(err error) {
+		errMu.Lock()
+		if buildErr == nil {
+			buildErr = err
+		}
+		errMu.Unlock()
+	}
 	for ; band >= 1; band /= 2 {
 		bandLo, bandHi := band, 2*band
 		if bandHi > n {
@@ -101,7 +112,7 @@ func New(ranks, prevIdcs []int64, opt mst.Options) (*DenseRankTree, error) {
 			if len(nd.prevs) >= smallNode {
 				inner, err := mst.Build(nd.prevs, opt)
 				if err != nil {
-					buildErr = err
+					setErr(err)
 					return
 				}
 				nd.inner = inner

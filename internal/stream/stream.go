@@ -86,6 +86,12 @@ func NewAggregator(window int64, opt Options) (*Aggregator, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("stream: window must be positive, got %d", window)
 	}
+	// Probe the tree options on an empty input so misconfiguration fails
+	// at construction; the only rebuild-time error left is the tree's
+	// element limit, which Observe surfaces to the caller.
+	if _, err := mst.Build(nil, opt.Tree); err != nil {
+		return nil, err
+	}
 	return &Aggregator{
 		window:  window,
 		opt:     opt,
@@ -114,7 +120,9 @@ func (a *Aggregator) Observe(ts, value int64) error {
 		a.latest = ts
 	}
 	if len(a.tail) >= a.rebuildThreshold() {
-		a.rebuild()
+		if err := a.rebuild(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -167,45 +175,52 @@ func (a *Aggregator) advance() {
 	}
 }
 
-// rebuild freezes the tail into the tree, dropping the evicted prefix.
-func (a *Aggregator) rebuild() {
+// rebuild freezes the tail into the tree, dropping the evicted prefix. On
+// error (the options were validated at construction, so only the tree's
+// element limit remains) the aggregator is left untouched: everything is
+// computed into fresh storage and committed only after both tree builds
+// succeed, so the caller can keep querying the pre-rebuild state.
+func (a *Aggregator) rebuild() error {
 	a.advance()
 	sort.SliceStable(a.tail, func(i, j int) bool { return a.tail[i].ts < a.tail[j].ts })
 	merged := make([]entry, 0, len(a.frozen)-a.start+len(a.tail))
 	merged = append(merged, a.frozen[a.start:]...)
 	merged = append(merged, a.tail...)
+
+	// Recompute values, prevIdcs and the value index.
+	n := len(merged)
+	vals := make([]int64, n)
+	for i, e := range merged {
+		vals[i] = e.val
+	}
+	lastPos := make(map[int64]int, len(a.lastPos))
+	prev := make([]int64, n)
+	for i, v := range vals {
+		if p, ok := lastPos[v]; ok {
+			prev[i] = int64(p) + 1
+		}
+		lastPos[v] = i
+	}
+	tree, err := mst.Build(vals, a.opt.Tree)
+	if err != nil {
+		return fmt.Errorf("stream: tree rebuild: %w", err)
+	}
+	distinct, err := mst.Build(prev, a.opt.Tree)
+	if err != nil {
+		return fmt.Errorf("stream: tree rebuild: %w", err)
+	}
+
 	a.frozen = merged
 	a.tail = a.tail[:0]
 	a.tailDirty = true
 	a.start = 0
-	if len(a.frozen) > 0 {
-		a.watermark = a.frozen[len(a.frozen)-1].ts
+	if len(merged) > 0 {
+		a.watermark = merged[len(merged)-1].ts
 	}
-
-	// Recompute values, prevIdcs and the value index.
-	n := len(a.frozen)
-	vals := make([]int64, n)
-	for i, e := range a.frozen {
-		vals[i] = e.val
-	}
-	clear(a.lastPos)
-	prev := make([]int64, n)
-	for i, v := range vals {
-		if p, ok := a.lastPos[v]; ok {
-			prev[i] = int64(p) + 1
-		}
-		a.lastPos[v] = i
-	}
-	var err error
-	a.tree, err = mst.Build(vals, a.opt.Tree)
-	if err == nil {
-		a.distinct, err = mst.Build(prev, a.opt.Tree)
-	}
-	if err != nil {
-		// Build only fails on invalid options or absurd sizes; surface
-		// loudly rather than silently serving stale results.
-		panic(fmt.Sprintf("stream: tree rebuild failed: %v", err))
-	}
+	a.lastPos = lastPos
+	a.tree = tree
+	a.distinct = distinct
+	return nil
 }
 
 // DistinctCount returns the number of distinct values inside the window.
