@@ -19,6 +19,8 @@
 package main
 
 import (
+	"context"
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +30,7 @@ import (
 
 	"holistic"
 	"holistic/internal/csvio"
+	"holistic/internal/server/api"
 )
 
 var (
@@ -47,6 +50,9 @@ var (
 	engine    = flag.String("engine", "mst", "engine: mst, incremental, naive, ostree, segtree")
 	query     = flag.String("query", "", "full SQL statement (paper dialect); overrides the per-function flags; FROM must name 'csv'")
 	explain   = flag.Bool("explain", false, "with -query: print the evaluation plan instead of running")
+	server    = flag.String("server", "", "windowd base URL (e.g. http://127.0.0.1:8080); runs -query remotely instead of locally")
+	dataset   = flag.String("dataset", "", "with -server: dataset name; uploads -i under this name before querying")
+	timeoutMS = flag.Int64("timeout-ms", 0, "with -server: per-query timeout in milliseconds (0 = server default)")
 )
 
 func fail(err error) {
@@ -58,6 +64,10 @@ func fail(err error) {
 
 func main() {
 	flag.Parse()
+	if *server != "" {
+		fail(runRemote())
+		return
+	}
 	if *funcName == "" && *query == "" {
 		fail(fmt.Errorf("missing -func or -query"))
 	}
@@ -98,6 +108,60 @@ func main() {
 		out = f
 	}
 	fail(csvio.Write(out, result, file.DateColumns))
+}
+
+// runRemote drives a windowd server through the shared api client: it
+// optionally uploads -i as -dataset, then runs -query (or -explain) and
+// writes the result as CSV.
+func runRemote() error {
+	c := &api.Client{BaseURL: *server}
+	ctx := context.Background()
+	if *dataset != "" && *input != "" && *input != "-" {
+		data, err := os.ReadFile(*input)
+		if err != nil {
+			return err
+		}
+		info, err := c.UploadCSV(ctx, *dataset, data)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "windowcli: uploaded %s v%d (%d rows)\n", info.Name, info.Version, info.Rows)
+	}
+	if *query == "" {
+		return nil // upload-only invocation
+	}
+	if *explain {
+		plan, err := c.Explain(ctx, *query)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
+	resp, err := c.Query(ctx, api.QueryRequest{SQL: *query, TimeoutMillis: *timeoutMS})
+	if err != nil {
+		return err
+	}
+	var out io.Writer = os.Stdout
+	if *output != "-" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	cw := csv.NewWriter(out)
+	if err := cw.Write(resp.Columns); err != nil {
+		return err
+	}
+	for _, row := range resp.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // runFlags evaluates the single function described by the flags and returns

@@ -1,0 +1,120 @@
+// Command windowd serves framed holistic window queries over HTTP.
+//
+// Datasets are CSV files registered at startup (-load name=path) or over
+// the API (POST /datasets/{name} with a CSV body or a JSON {"path": ...}).
+// Queries are SQL statements in the paper's dialect whose FROM clause names
+// a dataset:
+//
+//	windowd -addr :8080 -load orders=orders.csv &
+//	curl -s localhost:8080/query -d '{"sql":
+//	    "select o_date, percentile_disc(0.5 order by o_total)
+//	     over (order by o_date rows between 999 preceding and current row) as median
+//	     from orders"}'
+//
+// Built merge sort trees and preprocessed arrays are cached across queries
+// under a byte budget (-cache-bytes); /statusz reports hit rates, latency
+// histograms and per-dataset versions.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"holistic/internal/server"
+)
+
+// loadFlags collects repeated -load name=path flags.
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+
+func (l *loadFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr           = flag.String("addr", "127.0.0.1:8080", "listen address")
+		cacheBytes     = flag.Int64("cache-bytes", 1<<30, "tree cache budget in bytes (0 = unlimited)")
+		maxConcurrent  = flag.Int("max-concurrent", 4, "maximum queries evaluating at once")
+		defaultTimeout = flag.Duration("default-timeout", 30*time.Second, "query timeout when the request sets none")
+		maxTimeout     = flag.Duration("max-timeout", 5*time.Minute, "upper bound on per-request timeouts")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
+		loads          loadFlags
+	)
+	flag.Var(&loads, "load", "dataset to load at startup as name=path (repeatable)")
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := server.New(server.Config{
+		CacheBytes:     *cacheBytes,
+		MaxConcurrent:  *maxConcurrent,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		Logger:         log,
+	})
+	for _, l := range loads {
+		name, path, _ := strings.Cut(l, "=")
+		info, err := srv.RegisterPath(name, path)
+		if err != nil {
+			log.Error("load dataset", "dataset", name, "path", path, "err", err)
+			os.Exit(1)
+		}
+		log.Info("loaded dataset", "dataset", info.Name, "rows", info.Rows, "columns", len(info.Columns))
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Info("windowd listening", "addr", ln.Addr().String())
+		errCh <- httpSrv.Serve(ln)
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Error("serve", "err", err)
+		os.Exit(1)
+	case sig := <-stop:
+		log.Info("shutting down", "signal", sig.String())
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight queries, then give
+	// up after the drain timeout.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Error("shutdown", "err", err)
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Error("serve", "err", err)
+		os.Exit(1)
+	}
+	log.Info("drained, bye")
+}

@@ -52,8 +52,12 @@ const parallelPkgSuffix = "internal/parallel"
 
 // bodyArgs maps the parallel entry points to the argument positions of
 // their task closures; -1 means "all trailing arguments" (parallel.Run is
-// variadic over thunks).
-var bodyArgs = map[string]int{"For": 2, "ForEach": 1, "Run": -1}
+// variadic over thunks). The context-aware variants shift the closure one
+// position right.
+var bodyArgs = map[string]int{
+	"For": 2, "ForEach": 1, "Run": -1,
+	"ForContext": 3, "ForEachContext": 2,
+}
 
 func run(pass *analysis.Pass) error {
 	entries := parallelEntryDecls(pass)

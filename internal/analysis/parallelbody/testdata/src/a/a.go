@@ -3,6 +3,8 @@
 package a
 
 import (
+	"context"
+
 	"holistic/internal/parallel"
 )
 
@@ -39,6 +41,18 @@ func structWrites() {
 		s.maxSeen = 1 // want "write to field"
 		*p = 2        // want "write through captured pointer"
 	})
+}
+
+func contextVariants(ctx context.Context, n int) int {
+	total := 0
+	_ = parallel.ForContext(ctx, n, 0, func(lo, hi int) {
+		total += hi // want "non-atomic compound update of captured variable"
+	})
+	var last int
+	_ = parallel.ForEachContext(ctx, n, func(task int) {
+		last = task // want "assignment to captured variable"
+	})
+	return total + last
 }
 
 func viaLocalVariable(n int) int {

@@ -92,7 +92,7 @@ func runSegAgg[S any](p *partition, fc *frame.Computer, out *outBuilder, opt Opt
 		values[j] = valueOf(j)
 	}
 	tree := segtree.New(values, merge)
-	forEachRow(p, opt, func(lo, hi int) {
+	return forEachRow(p, opt, func(lo, hi int) {
 		var scratch, mapped [3][2]int
 		for i := lo; i < hi; i++ {
 			ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
@@ -117,7 +117,6 @@ func runSegAgg[S any](p *partition, fc *frame.Computer, out *outBuilder, opt Opt
 			emit(row, acc)
 		}
 	})
-	return nil
 }
 
 // evalSegTree is the EngineSegmentTree dispatcher: distributive aggregates
@@ -142,7 +141,7 @@ func evalSegTree(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder,
 		return err
 	}
 	valueCol := selectValueColumn(p, f)
-	forEachRow(p, opt, func(lo, hi int) {
+	return forEachRow(p, opt, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			bLo, bHi := fc.Bounds(i)
 			fLo, fHi := fl.toFiltered(bLo), fl.toFiltered(bHi)
@@ -207,7 +206,6 @@ func evalSegTree(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder,
 			}
 		}
 	})
-	return nil
 }
 
 // buildSortedTreeState prepares the shared state for holistic functions on

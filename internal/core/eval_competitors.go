@@ -59,13 +59,16 @@ func evalCompetitorDistinctCount(p *partition, f *FuncSpec, fc *frame.Computer, 
 	keys := denseArgKeys(p, f, fl)
 	frameOf := filteredFrame(fl, fc)
 	res := make([]int64, p.len())
-	forEachRow(p, opt, func(lo, hi int) {
+	err := forEachRow(p, opt, func(lo, hi int) {
 		if f.Engine == EngineIncremental {
 			incremental.DistinctCountRange(keys, frameOf, res, lo, hi)
 		} else {
 			incremental.DistinctCountNaiveRange(keys, frameOf, res, lo, hi)
 		}
 	})
+	if err != nil {
+		return err
+	}
 	for i := 0; i < p.len(); i++ {
 		out.setInt(p.orig(i), res[i])
 	}
@@ -85,8 +88,8 @@ func evalCompetitorSelect(p *partition, f *FuncSpec, fc *frame.Computer, out *ou
 	frameOf := filteredFrame(fl, fc)
 	valueCol := selectValueColumn(p, f)
 
-	runSelect := func(kth incremental.KthFunc, res []int64, valid []bool) {
-		forEachRow(p, opt, func(lo, hi int) {
+	runSelect := func(kth incremental.KthFunc, res []int64, valid []bool) error {
+		return forEachRow(p, opt, func(lo, hi int) {
 			switch f.Engine {
 			case EngineIncremental:
 				incremental.SelectKthRange(keys, frameOf, kth, res, valid, lo, hi)
@@ -103,20 +106,24 @@ func evalCompetitorSelect(p *partition, f *FuncSpec, fc *frame.Computer, out *ou
 	if f.Name == PercentileCont {
 		res0 := make([]int64, m)
 		val0 := make([]bool, m)
-		runSelect(func(size int) int {
+		if err := runSelect(func(size int) int {
 			if size == 0 {
 				return -1
 			}
 			return int(f.Fraction * float64(size-1))
-		}, res0, val0)
+		}, res0, val0); err != nil {
+			return err
+		}
 		res1 := make([]int64, m)
 		val1 := make([]bool, m)
-		runSelect(func(size int) int {
+		if err := runSelect(func(size int) int {
 			if size == 0 {
 				return -1
 			}
 			return int(f.Fraction*float64(size-1)) + 1
-		}, res1, val1)
+		}, res1, val1); err != nil {
+			return err
+		}
 		for i := 0; i < m; i++ {
 			row := p.orig(i)
 			if !val0[i] {
@@ -138,12 +145,14 @@ func evalCompetitorSelect(p *partition, f *FuncSpec, fc *frame.Computer, out *ou
 
 	res := make([]int64, m)
 	valid := make([]bool, m)
-	runSelect(func(size int) int {
+	if err := runSelect(func(size int) int {
 		if size == 0 {
 			return -1
 		}
 		return selectIndexFor(f, size)
-	}, res, valid)
+	}, res, valid); err != nil {
+		return err
+	}
 	for i := 0; i < m; i++ {
 		row := p.orig(i)
 		if !valid[i] {
@@ -212,7 +221,7 @@ func evalCompetitorRank(p *partition, f *FuncSpec, fc *frame.Computer, out *outB
 		}
 	}
 
-	forEachRow(p, opt, func(rowLo, rowHi int) {
+	return forEachRow(p, opt, func(rowLo, rowHi int) {
 		if f.Engine == EngineOSTree {
 			var tree ostree.Tree
 			var w incremental.Window
@@ -239,7 +248,6 @@ func evalCompetitorRank(p *partition, f *FuncSpec, fc *frame.Computer, out *outB
 			emit(i, below, belowEq, hi-lo)
 		}
 	})
-	return nil
 }
 
 // evalNaiveLeadLag evaluates framed LEAD/LAG by scanning each frame twice:
@@ -269,7 +277,7 @@ func evalNaiveLeadLag(p *partition, f *FuncSpec, fc *frame.Computer, out *outBui
 	if f.Name == Lag {
 		off = -off
 	}
-	forEachRow(p, opt, func(rowLo, rowHi int) {
+	return forEachRow(p, opt, func(rowLo, rowHi int) {
 		var buf []int64
 		for i := rowLo; i < rowHi; i++ {
 			lo, hi := frameOf(i)
@@ -301,7 +309,6 @@ func evalNaiveLeadLag(p *partition, f *FuncSpec, fc *frame.Computer, out *outBui
 			}
 		}
 	})
-	return nil
 }
 
 // evalNaiveScan covers the remaining naive-only functions with direct frame
@@ -322,7 +329,7 @@ func evalNaiveScan(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilde
 	case SumDistinct, AvgDistinct:
 		keys := denseArgKeys(p, f, fl)
 		col := p.t.Column(f.Arg)
-		forEachRow(p, opt, func(rowLo, rowHi int) {
+		return forEachRow(p, opt, func(rowLo, rowHi int) {
 			seen := make(map[int64]struct{})
 			for i := rowLo; i < rowHi; i++ {
 				lo, hi := frameOf(i)
@@ -356,7 +363,6 @@ func evalNaiveScan(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilde
 				}
 			}
 		})
-		return nil
 	case DenseRank:
 		sortedAll := p.sortedByFuncOrder(f)
 		ranksAll, _ := preprocess.DenseRanks(sortedAll, p.funcEqual(f))
@@ -364,7 +370,7 @@ func evalNaiveScan(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilde
 		for j := range ranksKept {
 			ranksKept[j] = ranksAll[fl.local(j)]
 		}
-		forEachRow(p, opt, func(rowLo, rowHi int) {
+		return forEachRow(p, opt, func(rowLo, rowHi int) {
 			seen := make(map[int64]struct{})
 			for i := rowLo; i < rowHi; i++ {
 				lo, hi := frameOf(i)
@@ -377,7 +383,6 @@ func evalNaiveScan(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilde
 				out.setInt(p.orig(i), int64(len(seen))+1)
 			}
 		})
-		return nil
 	}
 	return fmt.Errorf("engine %v cannot evaluate %v", f.Engine, f.Name)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"holistic/internal/frame"
 	"holistic/internal/mst"
@@ -97,7 +98,7 @@ func evalCounts(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, 
 		drop = f.Arg
 	}
 	fl := newFiltered(p, f, drop)
-	forEachRow(p, opt, func(lo, hi int) {
+	return forEachRow(p, opt, func(lo, hi int) {
 		var scratch, mapped [3][2]int
 		for i := lo; i < hi; i++ {
 			total := 0
@@ -107,7 +108,6 @@ func evalCounts(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, 
 			out.setInt(p.orig(i), int64(total))
 		}
 	})
-	return nil
 }
 
 // buildDistinctInputs sorts the filtered rows by the argument column and
@@ -208,43 +208,52 @@ func forEachFullyExcluded(prev, next []int64, ranges [][2]int, visit func(h int)
 }
 
 // evalDistinct evaluates COUNT/SUM/AVG(DISTINCT x) with the annotated merge
-// sort tree of §4.2/§4.3.
+// sort tree of §4.2/§4.3. The preprocessed occurrence arrays and the tree
+// are cache-shared across queries: they depend only on the argument column,
+// the filter and the tree options, never on the frame.
 func evalDistinct(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, opt Options, prof *Profile) error {
 	fl := newFiltered(p, f, f.Arg)
-	prev, next := buildDistinctInputs(fl, f, prof)
 
 	switch f.Name {
 	case CountDistinct:
-		var tree *mst.Tree
-		var err error
-		prof.timed("build merge sort tree", func() {
-			tree, err = mst.Build(prev, opt.Tree)
+		key := p.cacheKey("distinct-count", strconv.Quote(f.Arg), strconv.Quote(f.Filter), treeSig(opt.Tree))
+		st, err := cacheGet(opt, key, func() (cachedDistinct, int64, error) {
+			prev, next := buildDistinctInputs(fl, f, prof)
+			var tree *mst.Tree
+			var buildErr error
+			prof.timed("build merge sort tree", func() {
+				tree, buildErr = mst.Build(prev, opt.Tree)
+			})
+			if buildErr != nil {
+				return cachedDistinct{}, 0, buildErr
+			}
+			return cachedDistinct{prev: prev, next: next, tree: tree},
+				int64SliceBytes(prev, next) + int64(tree.Stats().Bytes), nil
 		})
 		if err != nil {
 			return err
 		}
-		var probe func()
-		probe = func() {
-			forEachRow(p, opt, func(lo, hi int) {
+		var probeErr error
+		prof.timed("probe", func() {
+			probeErr = forEachRow(p, opt, func(lo, hi int) {
 				var scratch, mapped [3][2]int
 				for i := lo; i < hi; i++ {
 					ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
-					out.setInt(p.orig(i), int64(distinctCount(tree, prev, next, ranges)))
+					out.setInt(p.orig(i), int64(distinctCount(st.tree, st.prev, st.next, ranges)))
 				}
 			})
-		}
-		prof.timed("probe", probe)
-		return nil
+		})
+		return probeErr
 
 	case SumDistinct:
 		if out.kind == Int64 {
-			return runSumDistinct(p, f, fc, out, opt, fl, prev, next,
+			return runSumDistinct(p, f, fc, out, opt, fl, "int64", 8,
 				func(j int) int64 { return p.t.Column(f.Arg).Int64(fl.orig(j)) },
 				func(a, b int64) int64 { return a + b },
 				func(a, b int64) int64 { return a - b },
 				func(row int, v int64) { out.setInt(row, v) })
 		}
-		return runSumDistinct(p, f, fc, out, opt, fl, prev, next,
+		return runSumDistinct(p, f, fc, out, opt, fl, "float64", 8,
 			func(j int) float64 { return p.t.Column(f.Arg).Float64(fl.orig(j)) },
 			func(a, b float64) float64 { return a + b },
 			func(a, b float64) float64 { return a - b },
@@ -252,7 +261,7 @@ func evalDistinct(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder
 
 	case AvgDistinct:
 		col := p.t.Column(f.Arg)
-		return runSumDistinct(p, f, fc, out, opt, fl, prev, next,
+		return runSumDistinct(p, f, fc, out, opt, fl, "avg", 16,
 			func(j int) avgState { return avgState{sum: col.Numeric(fl.orig(j)), n: 1} },
 			func(a, b avgState) avgState { return avgState{a.sum + b.sum, a.n + b.n} },
 			func(a, b avgState) avgState { return avgState{a.sum - b.sum, a.n - b.n} },
@@ -283,19 +292,30 @@ func distinctCount(tree *mst.Tree, prev, next []int64, ranges [][2]int) int {
 // state type. Exclusion holes are corrected by subtracting the states of
 // fully excluded values — SUM and AVG are invertible, so this stays exact.
 // (The pure merge-only path of §4.3 covers continuous frames; frames with
-// exclusion holes additionally use the inverse.)
+// exclusion holes additionally use the inverse.) kind tags the aggregate
+// state type in the cache key; aggBytes is its size for budget accounting.
 func runSumDistinct[S any](p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder,
-	opt Options, fl *filtered, prev, next []int64,
+	opt Options, fl *filtered, kind string, aggBytes int,
 	valueOf func(j int) S, add func(a, b S) S, sub func(a, b S) S, emit func(row int, v S)) error {
-	values := make([]S, fl.k)
-	for j := range values {
-		values[j] = valueOf(j)
-	}
-	tree, err := mst.BuildAnnotated(prev, values, add, opt.Tree)
+	key := p.cacheKey("distinct-agg", f.Name.String(), kind, strconv.Quote(f.Arg), strconv.Quote(f.Filter), treeSig(opt.Tree))
+	st, err := cacheGet(opt, key, func() (cachedAgg[S], int64, error) {
+		prev, next := buildDistinctInputs(fl, f, opt.Profile)
+		values := make([]S, fl.k)
+		for j := range values {
+			values[j] = valueOf(j)
+		}
+		tree, buildErr := mst.BuildAnnotated(prev, values, add, opt.Tree)
+		if buildErr != nil {
+			return cachedAgg[S]{}, 0, buildErr
+		}
+		bytes := int64SliceBytes(prev, next) + int64(aggBytes*len(values)) + tree.MemBytes(aggBytes)
+		return cachedAgg[S]{prev: prev, next: next, values: values, tree: tree}, bytes, nil
+	})
 	if err != nil {
 		return err
 	}
-	forEachRow(p, opt, func(lo, hi int) {
+	prev, next, values, tree := st.prev, st.next, st.values, st.tree
+	return forEachRow(p, opt, func(lo, hi int) {
 		var scratch, mapped [3][2]int
 		for i := lo; i < hi; i++ {
 			ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
@@ -323,7 +343,6 @@ func runSumDistinct[S any](p *partition, f *FuncSpec, fc *frame.Computer, out *o
 			emit(row, agg)
 		}
 	})
-	return nil
 }
 
 // evalRankFamily evaluates RANK, PERCENT_RANK, ROW_NUMBER, CUME_DIST and
@@ -331,40 +350,52 @@ func runSumDistinct[S any](p *partition, f *FuncSpec, fc *frame.Computer, out *o
 // keys (§4.4, Figure 8).
 func evalRankFamily(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, opt Options) error {
 	fl := newFiltered(p, f, "")
-	eqFunc := p.funcEqual(f)
-	m := p.len()
-	sortedAll := p.sortedByFuncOrder(f)
 
 	// Thresholds must exist for every row (also filtered-out ones), so rank
 	// keys are computed over the whole partition; the tree only holds the
 	// kept rows.
 	unique := f.Name == RowNumber || f.Name == Ntile
-	var keysAll []int64
+	tag := "rank-dense"
 	if unique {
-		// keptRowno: the number of kept rows sorted strictly before each
-		// row — unique among kept rows, and a valid insertion point for
-		// filtered-out rows.
-		keysAll = make([]int64, m)
-		keptBefore := int64(0)
-		for _, pos := range sortedAll {
-			keysAll[pos] = keptBefore
-			if fl.kept(int(pos)) {
-				keptBefore++
+		tag = "rank-unique"
+	}
+	st, err := cacheGet(opt, p.cacheKey(tag, orderSig(p, f), strconv.Quote(f.Filter), treeSig(opt.Tree)),
+		func() (cachedRank, int64, error) {
+			m := p.len()
+			sortedAll := p.sortedByFuncOrder(f)
+			var keysAll []int64
+			if unique {
+				// keptRowno: the number of kept rows sorted strictly before
+				// each row — unique among kept rows, and a valid insertion
+				// point for filtered-out rows.
+				keysAll = make([]int64, m)
+				keptBefore := int64(0)
+				for _, pos := range sortedAll {
+					keysAll[pos] = keptBefore
+					if fl.kept(int(pos)) {
+						keptBefore++
+					}
+				}
+			} else {
+				keysAll, _ = preprocess.DenseRanks(sortedAll, p.funcEqual(f))
 			}
-		}
-	} else {
-		keysAll, _ = preprocess.DenseRanks(sortedAll, eqFunc)
-	}
-	keysKept := make([]int64, fl.k)
-	for j := range keysKept {
-		keysKept[j] = keysAll[fl.local(j)]
-	}
-	tree, err := mst.Build(keysKept, opt.Tree)
+			keysKept := make([]int64, fl.k)
+			for j := range keysKept {
+				keysKept[j] = keysAll[fl.local(j)]
+			}
+			tree, buildErr := mst.Build(keysKept, opt.Tree)
+			if buildErr != nil {
+				return cachedRank{}, 0, buildErr
+			}
+			return cachedRank{keysAll: keysAll, tree: tree},
+				int64SliceBytes(keysAll) + int64(tree.Stats().Bytes), nil
+		})
 	if err != nil {
 		return err
 	}
+	keysAll, tree := st.keysAll, st.tree
 
-	forEachRow(p, opt, func(lo, hi int) {
+	return forEachRow(p, opt, func(lo, hi int) {
 		var scratch, mapped [3][2]int
 		for i := lo; i < hi; i++ {
 			ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
@@ -418,7 +449,6 @@ func evalRankFamily(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuild
 			}
 		}
 	})
-	return nil
 }
 
 // ntileBucket returns the 1-based NTILE bucket for the row at 0-based
@@ -439,32 +469,39 @@ func ntileBucket(r, size, b int64) int64 {
 // evalDenseRank evaluates the framed DENSE_RANK with the range tree of §4.4.
 func evalDenseRank(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, opt Options) error {
 	fl := newFiltered(p, f, "")
-	eqFunc := p.funcEqual(f)
-	sortedAll := p.sortedByFuncOrder(f)
-	ranksAll, _ := preprocess.DenseRanks(sortedAll, eqFunc)
-
-	ranksKept := make([]int64, fl.k)
-	for j := range ranksKept {
-		ranksKept[j] = ranksAll[fl.local(j)]
-	}
-	sortedKept := preprocess.SortIndicesByKey(ranksKept)
-	sameKept := func(a, b int) bool { return ranksKept[a] == ranksKept[b] }
-	prevKept := preprocess.PrevIndices(sortedKept, sameKept)
-	nextKept := make([]int64, fl.k)
-	for j := range nextKept {
-		nextKept[j] = int64(fl.k)
-	}
-	for i := 1; i < len(sortedKept); i++ {
-		if sameKept(int(sortedKept[i-1]), int(sortedKept[i])) {
-			nextKept[sortedKept[i-1]] = int64(sortedKept[i])
-		}
-	}
-	rt, err := rangetree.New(ranksKept, prevKept, opt.Tree)
+	st, err := cacheGet(opt, p.cacheKey("dense", orderSig(p, f), strconv.Quote(f.Filter), treeSig(opt.Tree)),
+		func() (cachedDense, int64, error) {
+			sortedAll := p.sortedByFuncOrder(f)
+			ranksAll, _ := preprocess.DenseRanks(sortedAll, p.funcEqual(f))
+			ranksKept := make([]int64, fl.k)
+			for j := range ranksKept {
+				ranksKept[j] = ranksAll[fl.local(j)]
+			}
+			sortedKept := preprocess.SortIndicesByKey(ranksKept)
+			sameKept := func(a, b int) bool { return ranksKept[a] == ranksKept[b] }
+			prevKept := preprocess.PrevIndices(sortedKept, sameKept)
+			nextKept := make([]int64, fl.k)
+			for j := range nextKept {
+				nextKept[j] = int64(fl.k)
+			}
+			for i := 1; i < len(sortedKept); i++ {
+				if sameKept(int(sortedKept[i-1]), int(sortedKept[i])) {
+					nextKept[sortedKept[i-1]] = int64(sortedKept[i])
+				}
+			}
+			rt, buildErr := rangetree.New(ranksKept, prevKept, opt.Tree)
+			if buildErr != nil {
+				return cachedDense{}, 0, buildErr
+			}
+			return cachedDense{ranksAll: ranksAll, ranksKept: ranksKept, prevKept: prevKept, nextKept: nextKept, rt: rt},
+				int64SliceBytes(ranksAll, ranksKept, prevKept, nextKept) + rt.MemBytes(), nil
+		})
 	if err != nil {
 		return err
 	}
+	ranksAll, ranksKept, prevKept, nextKept, rt := st.ranksAll, st.ranksKept, st.prevKept, st.nextKept, st.rt
 
-	forEachRow(p, opt, func(lo, hi int) {
+	return forEachRow(p, opt, func(lo, hi int) {
 		var scratch, mapped [3][2]int
 		for i := lo; i < hi; i++ {
 			ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
@@ -484,7 +521,6 @@ func evalDenseRank(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilde
 			out.setInt(row, int64(cnt)+1)
 		}
 	})
-	return nil
 }
 
 // evalSelectFamily evaluates percentiles and value functions via the
@@ -503,14 +539,22 @@ func evalSelectFamily(p *partition, f *FuncSpec, fc *frame.Computer, out *outBui
 		}
 	}
 	fl := newFiltered(p, f, drop)
-	sortedKept := keptOrder(fl, p.sortedByFuncOrder(f))
-	perm := preprocess.Permutation(sortedKept)
-	tree, err := mst.Build(perm, opt.Tree)
+	st, err := cacheGet(opt, p.cacheKey("select", orderSig(p, f), strconv.Quote(drop), strconv.Quote(f.Filter), treeSig(opt.Tree)),
+		func() (cachedSelect, int64, error) {
+			sortedKept := keptOrder(fl, p.sortedByFuncOrder(f))
+			perm := preprocess.Permutation(sortedKept)
+			tree, buildErr := mst.Build(perm, opt.Tree)
+			if buildErr != nil {
+				return cachedSelect{}, 0, buildErr
+			}
+			return cachedSelect{tree: tree}, int64(tree.Stats().Bytes), nil
+		})
 	if err != nil {
 		return err
 	}
+	tree := st.tree
 
-	forEachRow(p, opt, func(lo, hi int) {
+	return forEachRow(p, opt, func(lo, hi int) {
 		var scratch, mapped [3][2]int
 		var r64 [3][2]int64
 		for i := lo; i < hi; i++ {
@@ -579,7 +623,6 @@ func evalSelectFamily(p *partition, f *FuncSpec, fc *frame.Computer, out *outBui
 			}
 		}
 	})
-	return nil
 }
 
 // percentileDiscIndex is PERCENTILE_DISC's selection rule: the first value
@@ -606,24 +649,33 @@ func evalLeadLag(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder,
 		drop = f.Arg
 	}
 	fl := newFiltered(p, f, drop)
-	m := p.len()
-	sortedAll := p.sortedByFuncOrder(f)
-	// keptRowno: insertion position of every partition row among the kept
-	// rows in function order.
-	keptRowno := make([]int64, m)
-	keptBefore := int64(0)
-	for _, pos := range sortedAll {
-		keptRowno[pos] = keptBefore
-		if fl.kept(int(pos)) {
-			keptBefore++
-		}
-	}
-	sortedKept := keptOrder(fl, sortedAll)
-	perm := preprocess.Permutation(sortedKept)
-	tree, err := mst.Build(perm, opt.Tree)
+	st, err := cacheGet(opt, p.cacheKey("leadlag", orderSig(p, f), strconv.Quote(drop), strconv.Quote(f.Filter), treeSig(opt.Tree)),
+		func() (cachedLeadLag, int64, error) {
+			m := p.len()
+			sortedAll := p.sortedByFuncOrder(f)
+			// keptRowno: insertion position of every partition row among the
+			// kept rows in function order.
+			keptRowno := make([]int64, m)
+			keptBefore := int64(0)
+			for _, pos := range sortedAll {
+				keptRowno[pos] = keptBefore
+				if fl.kept(int(pos)) {
+					keptBefore++
+				}
+			}
+			sortedKept := keptOrder(fl, sortedAll)
+			perm := preprocess.Permutation(sortedKept)
+			tree, buildErr := mst.Build(perm, opt.Tree)
+			if buildErr != nil {
+				return cachedLeadLag{}, 0, buildErr
+			}
+			return cachedLeadLag{keptRowno: keptRowno, tree: tree},
+				int64SliceBytes(keptRowno) + int64(tree.Stats().Bytes), nil
+		})
 	if err != nil {
 		return err
 	}
+	keptRowno, tree := st.keptRowno, st.tree
 
 	off := f.N
 	if off == 0 {
@@ -633,7 +685,7 @@ func evalLeadLag(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder,
 		off = -off
 	}
 
-	forEachRow(p, opt, func(lo, hi int) {
+	return forEachRow(p, opt, func(lo, hi int) {
 		var scratch, mapped [3][2]int
 		var r64 [3][2]int64
 		for i := lo; i < hi; i++ {
@@ -669,5 +721,4 @@ func evalLeadLag(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder,
 			out.copyFrom(valueCol, fl.orig(int(tree.Value(pos))), row)
 		}
 	})
-	return nil
 }

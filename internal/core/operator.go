@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -18,6 +19,22 @@ type Options struct {
 	TaskSize int
 	// Profile, when non-nil, receives per-phase timings (Figure 14).
 	Profile *Profile
+	// Context, when non-nil, cancels the evaluation cooperatively: the
+	// operator checks it between phases and between parallel task chunks,
+	// so a cancelled caller stops burning cores after at most one chunk
+	// per worker. Run returns the context's error when cut short.
+	Context context.Context
+	// Cache, when non-nil together with a non-empty CacheScope, is
+	// consulted before building sort orders, merge sort trees and
+	// preprocessed key arrays, enabling cross-query structure reuse (see
+	// TreeCache).
+	Cache TreeCache
+	// CacheScope prefixes every cache key and must uniquely identify the
+	// table's content version (e.g. "orders@v3"): callers bump it whenever
+	// the table changes, which implicitly invalidates all structures built
+	// against the previous version. With an empty scope the cache is
+	// bypassed.
+	CacheScope string
 }
 
 func (o Options) taskSize() int {
@@ -40,18 +57,39 @@ func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
 	}
 	prof := opt.Profile
 	n := t.Rows()
+	if err := opt.ctxErr(); err != nil {
+		return nil, err
+	}
 
-	// Phase 1: sort by (PARTITION BY, ORDER BY) — shared by every function.
+	// Phase 1: sort by (PARTITION BY, ORDER BY) — shared by every function,
+	// and with a cache also across queries: any query whose window agrees
+	// on partitioning and ordering reuses the order (the shared-sort
+	// observation of Cao et al., lifted to the request level).
 	var sortIdx []int32
+	var sortErr error
 	prof.timed("partition+order sort", func() {
-		sortIdx = preprocess.SortIndices(n, windowComparator(t, w))
+		var cs cachedSort
+		cs, sortErr = cacheGet(opt, "sortidx|"+windowSig(w), func() (cachedSort, int64, error) {
+			idx := preprocess.SortIndices(n, windowComparator(t, w))
+			return cachedSort{idx: idx}, int64(4 * len(idx)), nil
+		})
+		sortIdx = cs.idx
 	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	if err := opt.ctxErr(); err != nil {
+		return nil, err
+	}
 
 	// Phase 2: find partition boundaries.
 	var parts []*partition
 	prof.timed("partition boundaries", func() {
 		parts = splitPartitions(t, w, sortIdx)
 	})
+	if err := opt.ctxErr(); err != nil {
+		return nil, err
+	}
 
 	// Phase 3: evaluate every (partition, function) pair. Output columns
 	// are written at original row positions directly.
@@ -85,9 +123,15 @@ func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
 		}
 	}
 	if len(parts) >= 2*parallel.Workers() && parallel.Workers() > 1 {
-		parallel.ForEach(len(parts), evalPart)
+		if err := parallel.ForEachContext(opt.Context, len(parts), evalPart); err != nil {
+			setErr(err)
+		}
 	} else {
 		for pi := range parts {
+			if err := opt.ctxErr(); err != nil {
+				setErr(err)
+				break
+			}
 			evalPart(pi)
 		}
 	}
@@ -153,7 +197,7 @@ func splitPartitions(t *Table, w *WindowSpec, sortIdx []int32) []*partition {
 	start := 0
 	for i := 1; i <= n; i++ {
 		if i == n || !samePart(sortIdx[i-1], sortIdx[i]) {
-			parts = append(parts, &partition{t: t, w: w, rows: sortIdx[start:i]})
+			parts = append(parts, &partition{t: t, w: w, ord: len(parts), rows: sortIdx[start:i]})
 			start = i
 		}
 	}
@@ -205,9 +249,11 @@ func evalFunc(p *partition, f *FuncSpec, out *outBuilder, opt Options, prof *Pro
 }
 
 // forEachRow runs body over all partition rows in parallel tasks; body is
-// subject to the same disjointness contract as parallel.For bodies.
+// subject to the same disjointness contract as parallel.For bodies. The
+// options context cancels the loop between chunks; the context's error is
+// returned when the loop was cut short.
 //
 //lint:parallel-entry
-func forEachRow(p *partition, opt Options, body func(lo, hi int)) {
-	parallel.For(p.len(), opt.taskSize(), body)
+func forEachRow(p *partition, opt Options, body func(lo, hi int)) error {
+	return parallel.ForContext(opt.Context, p.len(), opt.taskSize(), body)
 }

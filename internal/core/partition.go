@@ -17,6 +17,10 @@ import (
 type partition struct {
 	t *Table
 	w *WindowSpec
+	// ord is the partition's ordinal in window order — stable across
+	// queries with the same window signature, so it identifies the
+	// partition in structure-cache keys.
+	ord int
 	// rows holds the global (original) row indices in window order.
 	rows []int32
 

@@ -157,3 +157,83 @@ func TestDateColumnsRenderAsDates(t *testing.T) {
 		t.Fatalf("date round trip:\n%q !=\n%q", got, src)
 	}
 }
+
+func TestMalformedInputErrorsNotPanics(t *testing.T) {
+	cases := []string{
+		"a,b\n\"unterminated,1\n", // unclosed quote
+		"a,b\n1,2,3\n",            // too many fields
+		"a,b\n1,2\n3\n",           // too few fields mid-file
+		"a\"b,c\n1,2\n",           // bare quote in header
+	}
+	for _, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestNullRoundTripAllKinds(t *testing.T) {
+	src := "i,f,s,d\n" +
+		"1,1.5,x,2024-03-01\n" +
+		",,,\n" + // all NULL row
+		"3,2.5,z,2024-03-03\n"
+	f, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"i", "f", "s", "d"} {
+		col := f.Table.Column(name)
+		if !col.IsNull(1) {
+			t.Errorf("column %s row 1 not NULL", name)
+		}
+		if col.IsNull(0) || col.IsNull(2) {
+			t.Errorf("column %s has spurious NULLs", name)
+		}
+	}
+	if f.Table.Column("i").Kind() != core.Int64 ||
+		f.Table.Column("f").Kind() != core.Float64 ||
+		f.Table.Column("s").Kind() != core.String ||
+		!f.DateColumns["d"] {
+		t.Fatal("kinds not preserved around NULL row")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, f.Table, f.DateColumns); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != src {
+		t.Fatalf("NULL round trip:\n%q !=\n%q", buf.String(), src)
+	}
+}
+
+func TestInferenceConflictsDowngrade(t *testing.T) {
+	// A type conflict downgrades the column to the widest type that still
+	// parses every value — never an error, never a panic.
+	cases := []struct {
+		src  string
+		want core.Kind
+	}{
+		{"c\n1\n2.5\n", core.Float64},                // int then float
+		{"c\n1\nabc\n", core.String},                 // int then word
+		{"c\n2024-01-01\n5\n", core.String},          // date then int
+		{"c\n2024-01-01\n2024-13-99\n", core.String}, // date then bad date
+		{"c\n9223372036854775807\n", core.Int64},     // max int64 stays int
+		{"c\n9223372036854775808\n", core.Float64},   // overflow falls to float
+		{"c\n1e3\n2\n", core.Float64},                // scientific notation
+	}
+	for _, tc := range cases {
+		f, err := Read(strings.NewReader(tc.src))
+		if err != nil {
+			t.Errorf("Read(%q): %v", tc.src, err)
+			continue
+		}
+		if got := f.Table.Column("c").Kind(); got != tc.want {
+			t.Errorf("Read(%q): inferred %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestDuplicateHeaderErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("a,a\n1,2\n")); err == nil {
+		t.Fatal("duplicate header must error, not shadow a column")
+	}
+}

@@ -106,6 +106,17 @@ func BuildAnnotated[S any](keys []int64, values []S, merge func(S, S) S, opt Opt
 // Len returns the number of elements the tree was built over.
 func (at *AnnotatedTree[S]) Len() int { return at.n }
 
+// MemBytes reports the approximate resident size of the tree: payloads and
+// cascading pointers plus the per-element aggregate annotations, assuming
+// aggBytes bytes per aggregate state. Used for cache budget accounting.
+func (at *AnnotatedTree[S]) MemBytes(aggBytes int) int64 {
+	total := int64(stats(at.t, 8).Bytes)
+	for _, lv := range at.agg {
+		total += int64(len(lv) * aggBytes)
+	}
+	return total
+}
+
 // CountBelow returns the number of entries at positions [lo, hi) whose key
 // is strictly smaller than threshold (the distinct count when keys are
 // previous-occurrence indices and threshold is the frame start).

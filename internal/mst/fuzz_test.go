@@ -1,6 +1,7 @@
 package mst
 
 import (
+	"bytes"
 	"testing"
 )
 
@@ -64,6 +65,66 @@ func FuzzCountSelect(f *testing.F) {
 		}
 		if ok != wantOK || (ok && pos != wantPos) {
 			t.Errorf("SelectKth(0, %d, %d) = (%d, %v), brute force (%d, %v) (opt %+v)", threshold, k, pos, ok, wantPos, wantOK, opt)
+		}
+	})
+}
+
+// FuzzSerialize round-trips fuzzer-built trees through the MST1 format and
+// checks the deserialized tree answers count and select queries identically
+// to the original, across payload widths, fanouts and sampling rates.
+func FuzzSerialize(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 250, 0, 0, 9}, 0, 7, int64(4), 2, uint8(0), uint8(0), uint8(0))
+	f.Add([]byte{5, 5, 5, 5}, 1, 3, int64(5), 0, uint8(3), uint8(2), uint8(3))
+	f.Add([]byte{}, 0, 0, int64(0), 0, uint8(2), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, lo, hi int, threshold int64, k int, fanout, sampleEvery, flags uint8) {
+		keys := make([]int64, len(data))
+		for i, b := range data {
+			keys[i] = int64(b)
+			if b >= 250 {
+				keys[i] = int64(b) << 24 // force the 64-bit payload path
+			}
+		}
+		opt := Options{
+			Fanout:      2 + int(fanout%7),
+			SampleEvery: 1 + int(sampleEvery%15),
+			NoCascading: flags&1 != 0,
+			Force64:     flags&2 != 0,
+		}
+		orig, err := Build(keys, opt)
+		if err != nil {
+			t.Fatalf("Build(%d keys, %+v): %v", len(keys), opt, err)
+		}
+
+		var buf bytes.Buffer
+		written, err := orig.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		if written != int64(buf.Len()) {
+			t.Fatalf("WriteTo reported %d bytes, wrote %d", written, buf.Len())
+		}
+		got, err := ReadTree(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadTree: %v", err)
+		}
+
+		if got.Len() != orig.Len() || got.Is32Bit() != orig.Is32Bit() {
+			t.Fatalf("round trip changed shape: len %d->%d, 32bit %v->%v",
+				orig.Len(), got.Len(), orig.Is32Bit(), got.Is32Bit())
+		}
+		if a, b := orig.CountBelow(lo, hi, threshold), got.CountBelow(lo, hi, threshold); a != b {
+			t.Errorf("CountBelow(%d, %d, %d): orig %d, round-tripped %d", lo, hi, threshold, a, b)
+		}
+		aPos, aOK := orig.SelectKth(0, threshold, k)
+		bPos, bOK := got.SelectKth(0, threshold, k)
+		if aOK != bOK || (aOK && aPos != bPos) {
+			t.Errorf("SelectKth(0, %d, %d): orig (%d, %v), round-tripped (%d, %v)",
+				threshold, k, aPos, aOK, bPos, bOK)
+		}
+		for pos := 0; pos < orig.Len(); pos++ {
+			if a, b := orig.Value(pos), got.Value(pos); a != b {
+				t.Fatalf("Value(%d): orig %d, round-tripped %d", pos, a, b)
+			}
 		}
 	})
 }

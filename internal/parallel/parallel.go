@@ -11,6 +11,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -49,8 +50,18 @@ func Workers() int {
 //
 // body must be safe for concurrent invocation on disjoint ranges.
 func For(n, taskSize int, body func(lo, hi int)) {
+	_ = ForContext(nil, n, taskSize, body)
+}
+
+// ForContext is For with cooperative cancellation: between task chunks the
+// workers check ctx and stop claiming new chunks once it is done, so a
+// cancelled caller stops burning cores after at most one chunk per worker.
+// Chunks already started always run to completion — body never observes a
+// half-processed range. ForContext returns ctx.Err() if the loop was cut
+// short, nil if every chunk ran. A nil ctx disables cancellation.
+func ForContext(ctx context.Context, n, taskSize int, body func(lo, hi int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if taskSize <= 0 {
 		taskSize = DefaultTaskSize
@@ -62,13 +73,16 @@ func For(n, taskSize int, body func(lo, hi int)) {
 	}
 	if workers <= 1 {
 		for lo := 0; lo < n; lo += taskSize {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
 			hi := lo + taskSize
 			if hi > n {
 				hi = n
 			}
 			body(lo, hi)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -76,7 +90,7 @@ func For(n, taskSize int, body func(lo, hi int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctxErr(ctx) == nil {
 				t := int(next.Add(1)) - 1
 				if t >= tasks {
 					return
@@ -91,6 +105,7 @@ func For(n, taskSize int, body func(lo, hi int)) {
 		}()
 	}
 	wg.Wait()
+	return ctxErr(ctx)
 }
 
 // ForEach invokes body(i) for every task index i in [0, tasks) using up to
@@ -98,8 +113,16 @@ func For(n, taskSize int, body func(lo, hi int)) {
 // per task. Use it when tasks are heterogeneous units (e.g. one partition
 // per task).
 func ForEach(tasks int, body func(task int)) {
+	_ = ForEachContext(nil, tasks, body)
+}
+
+// ForEachContext is ForEach with the same cooperative-cancellation contract
+// as ForContext: ctx is checked between tasks, tasks in flight finish, and
+// the ctx error is returned when the loop was cut short. A nil ctx disables
+// cancellation.
+func ForEachContext(ctx context.Context, tasks int, body func(task int)) error {
 	if tasks <= 0 {
-		return
+		return nil
 	}
 	workers := Workers()
 	if workers > tasks {
@@ -107,9 +130,12 @@ func ForEach(tasks int, body func(task int)) {
 	}
 	if workers <= 1 {
 		for t := 0; t < tasks; t++ {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
 			body(t)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -117,7 +143,7 @@ func ForEach(tasks int, body func(task int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctxErr(ctx) == nil {
 				t := int(next.Add(1)) - 1
 				if t >= tasks {
 					return
@@ -127,6 +153,15 @@ func ForEach(tasks int, body func(task int)) {
 		}()
 	}
 	wg.Wait()
+	return ctxErr(ctx)
+}
+
+// ctxErr is ctx.Err() tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Run executes the given thunks concurrently (bounded by Workers()) and

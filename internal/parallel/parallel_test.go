@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -129,6 +131,86 @@ func TestRunConcurrent(t *testing.T) {
 		if !flags[i].Load() {
 			t.Fatalf("thunk %d did not run", i)
 		}
+	}
+}
+
+func TestForContextCompletesWithLiveContext(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForContext(context.Background(), 1000, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum.Add(int64(i))
+		}
+	}); err != nil {
+		t.Fatalf("ForContext: %v", err)
+	}
+	if want := int64(1000) * 999 / 2; sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestForContextCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := atomic.Bool{}
+	err := ForContext(ctx, 1_000_000, 1, func(lo, hi int) { called.Store(true) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// At most one chunk per worker may slip in; with cancellation before the
+	// call, the serial path runs nothing at all.
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	ran := false
+	if err := ForContext(ctx, 100, 10, func(lo, hi int) { ran = true }); !errors.Is(err, context.Canceled) || ran {
+		t.Fatalf("serial path: err=%v ran=%v", err, ran)
+	}
+}
+
+func TestForContextCancelMidway(t *testing.T) {
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+	ctx, cancel := context.WithCancel(context.Background())
+	var chunks atomic.Int64
+	err := ForContext(ctx, 100_000, 1, func(lo, hi int) {
+		if chunks.Add(1) == 50 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Far fewer than all 100k single-element chunks may have run: each of
+	// the 4 workers finishes at most the chunk it was on.
+	if got := chunks.Load(); got > 100 {
+		t.Fatalf("%d chunks ran after cancellation at 50", got)
+	}
+}
+
+func TestForEachContextCancelMidway(t *testing.T) {
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+	ctx, cancel := context.WithCancel(context.Background())
+	var tasks atomic.Int64
+	err := ForEachContext(ctx, 100_000, func(i int) {
+		if tasks.Add(1) == 25 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := tasks.Load(); got > 100 {
+		t.Fatalf("%d tasks ran after cancellation at 25", got)
+	}
+}
+
+func TestForEachContextNilContext(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEachContext(nil, 100, func(i int) { sum.Add(int64(i)) }); err != nil {
+		t.Fatalf("ForEachContext(nil): %v", err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum.Load())
 	}
 }
 

@@ -174,3 +174,18 @@ func (t *DenseRankTree) CountDistinctBelow(lo, hi int, rankThreshold, prevThresh
 	}
 	return total
 }
+
+// MemBytes reports the approximate resident size of the structure: every
+// node's rank/prevIdx arrays plus its nested tree. Used for cache budget
+// accounting.
+func (t *DenseRankTree) MemBytes() int64 {
+	var total int64
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		total += int64(16 * len(nd.ranks))
+		if nd.inner != nil {
+			total += int64(nd.inner.Stats().Bytes)
+		}
+	}
+	return total
+}

@@ -1,0 +1,204 @@
+// Package api defines the JSON wire types of the windowd HTTP daemon and a
+// small client speaking them. The server handlers, the windowcli -server
+// mode and the server tests all share these definitions, so requests are
+// encoded exactly one way.
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// QueryRequest asks the server to evaluate one SQL statement (the paper
+// dialect of holistic.RunSQL) against the registered datasets. The FROM
+// clause names the dataset.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// TimeoutMillis bounds the evaluation; 0 means the server default. The
+	// server clamps values above its configured maximum.
+	TimeoutMillis int64 `json:"timeout_millis,omitempty"`
+}
+
+// QueryResponse carries a result table with every cell rendered as text
+// (NULLs as empty strings with Nulls marking them, dates as ISO dates).
+type QueryResponse struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	// Nulls[i][j] reports whether cell (i, j) is SQL NULL — the empty
+	// string alone cannot distinguish NULL from an empty string value.
+	Nulls [][]bool   `json:"nulls,omitempty"`
+	Stats QueryStats `json:"stats"`
+}
+
+// QueryStats describes one evaluation: wall time and the tree cache's
+// cumulative counters after the query. A follow-up identical query leaves
+// CacheMisses unchanged and raises CacheHits.
+type QueryStats struct {
+	ElapsedMillis float64 `json:"elapsed_millis"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+}
+
+// ExplainRequest asks for the evaluation plan of a statement.
+type ExplainRequest struct {
+	SQL string `json:"sql"`
+}
+
+// ExplainResponse carries the rendered plan.
+type ExplainResponse struct {
+	Plan string `json:"plan"`
+}
+
+// RegisterRequest loads a dataset from a CSV file on the server's
+// filesystem (the load-from-path form of dataset registration).
+type RegisterRequest struct {
+	Path string `json:"path"`
+}
+
+// DatasetInfo describes one registered dataset. Version starts at 1 and
+// increments on every reload under the same name.
+type DatasetInfo struct {
+	Name    string   `json:"name"`
+	Version int64    `json:"version"`
+	Rows    int      `json:"rows"`
+	Columns []string `json:"columns"`
+}
+
+// DatasetList is the GET /datasets response.
+type DatasetList struct {
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Client speaks the windowd protocol against a base URL like
+// "http://127.0.0.1:8080".
+type Client struct {
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do sends body (JSON-encoded unless raw) and decodes the response into out.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("windowd: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("windowd: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		body, err = json.Marshal(in)
+		if err != nil {
+			return err
+		}
+	}
+	return c.do(ctx, method, path, "application/json", body, out)
+}
+
+// Query evaluates a SQL statement.
+func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	var resp QueryResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/query", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Explain fetches the evaluation plan of a statement.
+func (c *Client) Explain(ctx context.Context, sql string) (string, error) {
+	var resp ExplainResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/explain", ExplainRequest{SQL: sql}, &resp); err != nil {
+		return "", err
+	}
+	return resp.Plan, nil
+}
+
+// UploadCSV registers (or reloads) a dataset from CSV content.
+func (c *Client) UploadCSV(ctx context.Context, name string, csvData []byte) (*DatasetInfo, error) {
+	var info DatasetInfo
+	if err := c.do(ctx, http.MethodPost, "/datasets/"+name, "text/csv", csvData, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// RegisterPath registers (or reloads) a dataset from a CSV file on the
+// server's filesystem.
+func (c *Client) RegisterPath(ctx context.Context, name, path string) (*DatasetInfo, error) {
+	var info DatasetInfo
+	if err := c.doJSON(ctx, http.MethodPost, "/datasets/"+name, RegisterRequest{Path: path}, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Datasets lists the registered datasets.
+func (c *Client) Datasets(ctx context.Context) ([]DatasetInfo, error) {
+	var list DatasetList
+	if err := c.doJSON(ctx, http.MethodGet, "/datasets", nil, &list); err != nil {
+		return nil, err
+	}
+	return list.Datasets, nil
+}
+
+// Statusz fetches the plain-text metrics page.
+func (c *Client) Statusz(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/statusz", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("windowd: statusz: HTTP %d", resp.StatusCode)
+	}
+	return string(data), nil
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in milliseconds; the last
+// counts slot is the open-ended overflow bucket.
+var latencyBuckets = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+const numBuckets = len(latencyBuckets)
+
+// histogram is a fixed-bucket latency histogram. The zero value is ready.
+type histogram struct {
+	counts [numBuckets + 1]int64
+	sum    float64
+	n      int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := sort.SearchFloat64s(latencyBuckets[:], ms)
+	h.counts[i]++
+	h.sum += ms
+	h.n++
+}
+
+func (h *histogram) render(b *strings.Builder) {
+	if h.n == 0 {
+		b.WriteString("no samples")
+		return
+	}
+	fmt.Fprintf(b, "n=%d mean=%.2fms", h.n, h.sum/float64(h.n))
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if i < len(latencyBuckets) {
+			fmt.Fprintf(b, " le%gms=%d", latencyBuckets[i], c)
+		} else {
+			fmt.Fprintf(b, " gt%gms=%d", latencyBuckets[len(latencyBuckets)-1], c)
+		}
+	}
+}
+
+// endpointStats aggregates one route's request outcomes.
+type endpointStats struct {
+	requests int64
+	errors   int64 // responses with status >= 400
+	latency  histogram
+}
+
+// metrics is the server-wide counter set behind /statusz.
+type metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	requests  int64
+	inFlight  int64
+	endpoints map[string]*endpointStats
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+}
+
+func (m *metrics) begin() {
+	m.mu.Lock()
+	m.requests++
+	m.inFlight++
+	m.mu.Unlock()
+}
+
+func (m *metrics) end(route string, status int, d time.Duration) {
+	m.mu.Lock()
+	m.inFlight--
+	ep := m.endpoints[route]
+	if ep == nil {
+		ep = &endpointStats{}
+		m.endpoints[route] = ep
+	}
+	ep.requests++
+	if status >= 400 {
+		ep.errors++
+	}
+	ep.latency.observe(d)
+	m.mu.Unlock()
+}
+
+// render writes the per-endpoint section of /statusz.
+func (m *metrics) render(b *strings.Builder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintf(b, "uptime: %s\n", time.Since(m.start).Round(time.Millisecond))
+	fmt.Fprintf(b, "requests: total=%d in_flight=%d\n", m.requests, m.inFlight)
+	routes := make([]string, 0, len(m.endpoints))
+	for r := range m.endpoints {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		ep := m.endpoints[r]
+		fmt.Fprintf(b, "endpoint %s: requests=%d errors=%d latency: ", r, ep.requests, ep.errors)
+		ep.latency.render(b)
+		b.WriteByte('\n')
+	}
+}

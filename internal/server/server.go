@@ -1,0 +1,463 @@
+// Package server implements windowd, the HTTP/JSON daemon serving framed
+// holistic window queries over registered CSV datasets.
+//
+// Its core is a structure cache: the merge sort trees and preprocessed
+// arrays the window operator builds are keyed by (dataset version,
+// partitioning, ordering, tree options) and kept in a byte-budgeted LRU
+// (internal/treecache), so a query repeated — or any query agreeing on
+// partitioning and ordering — skips the build phase entirely. This is the
+// paper's "one tree answers arbitrarily many framed queries" property
+// lifted to the request level.
+//
+// Production plumbing: per-request timeouts plumbed into the operator's
+// cooperative cancellation, a semaphore admission limiter, /healthz and
+// /statusz, structured request logging, and graceful shutdown through
+// http.Server.Shutdown draining in-flight queries.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"holistic/internal/core"
+	"holistic/internal/csvio"
+	"holistic/internal/sqlparse"
+	"holistic/internal/treecache"
+)
+
+// Config tunes the server.
+type Config struct {
+	// CacheBytes is the tree cache budget; <= 0 means unlimited.
+	CacheBytes int64
+	// MaxConcurrent caps queries evaluating at once; excess requests wait
+	// for a slot until their deadline. <= 0 means 4.
+	MaxConcurrent int
+	// DefaultTimeout applies to queries that set no timeout (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps the per-request timeout (default 5m).
+	MaxTimeout time.Duration
+	// TaskSize overrides the operator's parallel task granularity
+	// (tests use small values to exercise cancellation between chunks).
+	TaskSize int
+	// Logger receives structured request logs; nil means slog.Default().
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// dataset is one registered table plus its cache identity.
+type dataset struct {
+	file  *csvio.File
+	info  DatasetInfo
+	scope string // cache key prefix: "name@v<version>"
+}
+
+// DatasetInfo mirrors api.DatasetInfo without importing it (the api package
+// imports nothing from server either; the JSON shapes are kept in sync by
+// the shared-client tests).
+type DatasetInfo struct {
+	Name    string   `json:"name"`
+	Version int64    `json:"version"`
+	Rows    int      `json:"rows"`
+	Columns []string `json:"columns"`
+}
+
+// Server is the windowd request handler.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	cache   *treecache.Cache
+	limiter chan struct{}
+	metrics *metrics
+
+	mu       sync.RWMutex
+	datasets map[string]*dataset
+
+	mux *http.ServeMux
+}
+
+// New builds a server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		log:      cfg.Logger,
+		cache:    treecache.New(cfg.CacheBytes),
+		limiter:  make(chan struct{}, cfg.MaxConcurrent),
+		metrics:  newMetrics(),
+		datasets: make(map[string]*dataset),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	mux.HandleFunc("GET /datasets", s.handleListDatasets)
+	mux.HandleFunc("POST /datasets/{name}", s.handleRegister)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /explain", s.handleExplain)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler with request logging and metrics wired
+// around every route.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.begin()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.mux.ServeHTTP(sw, r)
+		d := time.Since(start)
+		route := r.Method + " " + routeOf(r.URL.Path)
+		s.metrics.end(route, sw.status, d)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_ms", float64(d)/float64(time.Millisecond),
+		)
+	})
+}
+
+// routeOf collapses parameterized paths so metrics aggregate per route, not
+// per dataset name.
+func routeOf(path string) string {
+	if strings.HasPrefix(path, "/datasets/") {
+		return "/datasets/{name}"
+	}
+	return path
+}
+
+// statusWriter records the response status for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// CacheStats exposes the tree cache counters (used by /statusz and tests).
+func (s *Server) CacheStats() treecache.Stats { return s.cache.Stats() }
+
+// RegisterCSV parses csvData and registers (or reloads) it under name.
+// A reload bumps the dataset version and invalidates every cache entry
+// built against the previous version.
+func (s *Server) RegisterCSV(name string, r io.Reader) (DatasetInfo, error) {
+	file, err := csvio.Read(r)
+	if err != nil {
+		return DatasetInfo{}, fmt.Errorf("parse csv: %w", err)
+	}
+	return s.install(name, file), nil
+}
+
+// RegisterPath loads a CSV file from the server's filesystem.
+func (s *Server) RegisterPath(name, path string) (DatasetInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	defer f.Close()
+	return s.RegisterCSV(name, f)
+}
+
+func (s *Server) install(name string, file *csvio.File) DatasetInfo {
+	cols := make([]string, 0, len(file.Table.Columns()))
+	for _, c := range file.Table.Columns() {
+		cols = append(cols, c.Name())
+	}
+	s.mu.Lock()
+	version := int64(1)
+	oldScope := ""
+	if prev, ok := s.datasets[name]; ok {
+		version = prev.info.Version + 1
+		oldScope = prev.scope
+	}
+	ds := &dataset{
+		file:  file,
+		scope: fmt.Sprintf("%s@v%d", name, version),
+		info: DatasetInfo{
+			Name:    name,
+			Version: version,
+			Rows:    file.Table.Rows(),
+			Columns: cols,
+		},
+	}
+	s.datasets[name] = ds
+	s.mu.Unlock()
+	if oldScope != "" {
+		// Entries under the old scope are unreachable (new queries key on
+		// the new version); drop them eagerly to release their bytes.
+		removed := s.cache.InvalidatePrefix(oldScope + "|")
+		s.log.Info("dataset reloaded", "dataset", name, "version", version, "invalidated", removed)
+	} else {
+		s.log.Info("dataset registered", "dataset", name, "rows", ds.info.Rows)
+	}
+	return ds.info
+}
+
+func (s *Server) lookup(name string) (*dataset, bool) {
+	s.mu.RLock()
+	ds, ok := s.datasets[name]
+	s.mu.RUnlock()
+	return ds, ok
+}
+
+// httpError is an error with a dedicated HTTP status.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func httpErrorf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past WriteHeader cannot be reported to the client;
+	// the types marshalled here contain no unencodable values.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for the log line only.
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	b.WriteString("windowd status\n\n")
+	s.metrics.render(&b)
+	st := s.cache.Stats()
+	fmt.Fprintf(&b, "cache: entries=%d bytes=%d budget=%d hits=%d misses=%d joins=%d failures=%d evictions=%d invalidations=%d build_time=%s\n",
+		st.Entries, st.Bytes, st.Budget, st.Hits, st.Misses, st.Joins, st.Failures, st.Evictions, st.Invalidations, st.BuildTime.Round(time.Microsecond))
+	s.mu.RLock()
+	names := make([]*dataset, 0, len(s.datasets))
+	for _, ds := range s.datasets {
+		names = append(names, ds)
+	}
+	s.mu.RUnlock()
+	for _, ds := range names {
+		fmt.Fprintf(&b, "dataset %s: version=%d rows=%d columns=%d\n",
+			ds.info.Name, ds.info.Version, ds.info.Rows, len(ds.info.Columns))
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, b.String())
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]DatasetInfo, 0, len(s.datasets))
+	for _, ds := range s.datasets {
+		infos = append(infos, ds.info)
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		writeError(w, httpErrorf(http.StatusBadRequest, "missing dataset name"))
+		return
+	}
+	var info DatasetInfo
+	var err error
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req struct {
+			Path string `json:"path"`
+		}
+		if derr := json.NewDecoder(r.Body).Decode(&req); derr != nil {
+			writeError(w, httpErrorf(http.StatusBadRequest, "bad register request: %v", derr))
+			return
+		}
+		if req.Path == "" {
+			writeError(w, httpErrorf(http.StatusBadRequest, "register request needs a path (or upload CSV directly)"))
+			return
+		}
+		info, err = s.RegisterPath(name, req.Path)
+	} else {
+		info, err = s.RegisterCSV(name, r.Body)
+	}
+	if err != nil {
+		writeError(w, httpErrorf(http.StatusBadRequest, "register %q: %v", name, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		SQL string `json:"sql"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, httpErrorf(http.StatusBadRequest, "bad explain request: %v", err))
+		return
+	}
+	q, err := sqlparse.Parse(req.SQL)
+	if err != nil {
+		writeError(w, httpErrorf(http.StatusBadRequest, "%v", err))
+		return
+	}
+	plan, err := sqlparse.Explain(q)
+	if err != nil {
+		writeError(w, httpErrorf(http.StatusBadRequest, "%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"plan": plan})
+}
+
+// timeoutFor clamps the requested timeout into (0, MaxTimeout].
+func (s *Server) timeoutFor(millis int64) time.Duration {
+	d := time.Duration(millis) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		SQL           string `json:"sql"`
+		TimeoutMillis int64  `json:"timeout_millis"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, httpErrorf(http.StatusBadRequest, "bad query request: %v", err))
+		return
+	}
+	resp, err := s.query(r.Context(), req.SQL, req.TimeoutMillis)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryResponse mirrors api.QueryResponse (see DatasetInfo for why the
+// shapes are duplicated rather than imported).
+type queryResponse struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Nulls   [][]bool   `json:"nulls,omitempty"`
+	Stats   struct {
+		ElapsedMillis float64 `json:"elapsed_millis"`
+		CacheHits     int64   `json:"cache_hits"`
+		CacheMisses   int64   `json:"cache_misses"`
+	} `json:"stats"`
+}
+
+// query parses, admits, evaluates and renders one statement.
+func (s *Server) query(parent context.Context, sql string, timeoutMillis int64) (*queryResponse, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, httpErrorf(http.StatusBadRequest, "%v", err)
+	}
+	ds, ok := s.lookup(q.From)
+	if !ok {
+		return nil, httpErrorf(http.StatusNotFound, "unknown dataset %q", q.From)
+	}
+
+	ctx, cancel := context.WithTimeout(parent, s.timeoutFor(timeoutMillis))
+	defer cancel()
+
+	// Admission: wait for an evaluation slot, but never past the deadline —
+	// a query that times out in the queue fails fast without ever occupying
+	// a slot, and a query cancelled mid-evaluation releases its slot as
+	// soon as the operator observes the context.
+	select {
+	case s.limiter <- struct{}{}:
+	case <-ctx.Done():
+		return nil, httpErrorf(http.StatusServiceUnavailable, "no evaluation slot before deadline: %v", ctx.Err())
+	}
+	defer func() { <-s.limiter }()
+
+	start := time.Now()
+	res, err := sqlparse.Execute(q, map[string]*core.Table{q.From: ds.file.Table}, core.Options{
+		Context:    ctx,
+		Cache:      s.cache,
+		CacheScope: ds.scope,
+		TaskSize:   s.cfg.TaskSize,
+	})
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, httpErrorf(http.StatusBadRequest, "%v", err)
+	}
+	elapsed := time.Since(start)
+
+	resp := &queryResponse{}
+	resp.Stats.ElapsedMillis = float64(elapsed) / float64(time.Millisecond)
+	st := s.cache.Stats()
+	resp.Stats.CacheHits = st.Hits
+	resp.Stats.CacheMisses = st.Misses
+	cols := res.Columns()
+	resp.Columns = make([]string, len(cols))
+	for i, c := range cols {
+		resp.Columns[i] = c.Name()
+	}
+	n := res.Rows()
+	resp.Rows = make([][]string, n)
+	resp.Nulls = make([][]bool, n)
+	for i := 0; i < n; i++ {
+		row := make([]string, len(cols))
+		nulls := make([]bool, len(cols))
+		for c, col := range cols {
+			nulls[c] = col.IsNull(i)
+			if ds.file.DateColumns[col.Name()] && col.Kind() == core.Int64 && !col.IsNull(i) {
+				row[c] = csvio.DayToDate(col.Int64(i))
+				continue
+			}
+			row[c] = csvio.FormatCell(col, i)
+		}
+		resp.Rows[i] = row
+		resp.Nulls[i] = nulls
+	}
+	return resp, nil
+}

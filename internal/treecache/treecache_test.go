@@ -1,0 +1,209 @@
+package treecache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetOrBuildHitAndMiss(t *testing.T) {
+	c := New(1 << 20)
+	builds := 0
+	build := func() (any, int64, error) {
+		builds++
+		return "value", 8, nil
+	}
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrBuild("k", build)
+		if err != nil || v != "value" {
+			t.Fatalf("GetOrBuild #%d = (%v, %v)", i, v, err)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("builds = %d, want 1", builds)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 2 || s.Entries != 1 || s.Bytes != 8 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSingleFlightDeduplicatesConcurrentBuilds(t *testing.T) {
+	c := New(1 << 20)
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	const workers = 16
+	var wg sync.WaitGroup
+	results := make([]any, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.GetOrBuild("shared", func() (any, int64, error) {
+				builds.Add(1)
+				<-gate // hold the build open until every worker has arrived
+				return 42, 8, nil
+			})
+			if err != nil {
+				t.Errorf("GetOrBuild: %v", err)
+			}
+			results[w] = v
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("%d builds for %d concurrent callers, want 1", got, workers)
+	}
+	for w, v := range results {
+		if v != 42 {
+			t.Fatalf("worker %d got %v", w, v)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", s.Misses)
+	}
+	if s.Hits+s.Joins != workers-1 {
+		t.Fatalf("hits (%d) + joins (%d) != %d", s.Hits, s.Joins, workers-1)
+	}
+}
+
+func TestFollowerRetriesAfterLeaderFailure(t *testing.T) {
+	c := New(1 << 20)
+	leaderStarted := make(chan struct{})
+	leaderRelease := make(chan struct{})
+	errLeader := errors.New("leader cancelled")
+
+	var followerV any
+	var followerErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-leaderStarted
+		// Let the leader's build fail; whether this call joins the flight
+		// (and retries) or arrives after it was torn down, it must build a
+		// fresh value rather than inherit the leader's error.
+		close(leaderRelease)
+		followerV, followerErr = c.GetOrBuild("k", func() (any, int64, error) {
+			return "rebuilt", 8, nil
+		})
+	}()
+
+	v, err := c.GetOrBuild("k", func() (any, int64, error) {
+		close(leaderStarted)
+		<-leaderRelease
+		return nil, 0, errLeader
+	})
+	if !errors.Is(err, errLeader) || v != nil {
+		t.Fatalf("leader got (%v, %v)", v, err)
+	}
+	<-done
+	if followerErr != nil || followerV != "rebuilt" {
+		t.Fatalf("follower got (%v, %v), want rebuilt value", followerV, followerErr)
+	}
+	if s := c.Stats(); s.Failures != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEvictionUnderBudget(t *testing.T) {
+	c := New(100)
+	add := func(key string, bytes int64) {
+		if _, err := c.GetOrBuild(key, func() (any, int64, error) { return key, bytes, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("a", 40)
+	add("b", 40)
+	// Touch "a" so "b" is the LRU victim.
+	if _, err := c.GetOrBuild("a", func() (any, int64, error) { t.Fatal("a must be cached"); return nil, 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	add("c", 40) // exceeds 100 -> evict b
+	s := c.Stats()
+	if s.Entries != 2 || s.Bytes != 80 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	rebuilt := false
+	if _, err := c.GetOrBuild("b", func() (any, int64, error) { rebuilt = true; return "b", 40, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !rebuilt {
+		t.Fatal("evicted entry b still served from cache")
+	}
+}
+
+func TestOversizedEntryNotCached(t *testing.T) {
+	c := New(100)
+	for i := 0; i < 2; i++ {
+		if _, err := c.GetOrBuild("huge", func() (any, int64, error) { return "x", 1000, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("oversized entry was cached: %+v", s)
+	}
+	if s.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (no caching)", s.Misses)
+	}
+}
+
+func TestInvalidatePrefix(t *testing.T) {
+	c := New(0) // unlimited
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("ds@1|entry%d", i)
+		if _, err := c.GetOrBuild(key, func() (any, int64, error) { return i, 8, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.GetOrBuild("other@1|x", func() (any, int64, error) { return "keep", 8, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.InvalidatePrefix("ds@1|"); n != 5 {
+		t.Fatalf("InvalidatePrefix removed %d, want 5", n)
+	}
+	s := c.Stats()
+	if s.Entries != 1 || s.Invalidations != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	rebuilt := false
+	if _, err := c.GetOrBuild("ds@1|entry0", func() (any, int64, error) { rebuilt = true; return 0, 8, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !rebuilt {
+		t.Fatal("invalidated entry still served")
+	}
+}
+
+func TestUnlimitedBudgetNeverEvicts(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, err := c.GetOrBuild(key, func() (any, int64, error) { return i, 1 << 20, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := c.Stats(); s.Entries != 100 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestReplaceExistingKeyAdjustsBytes(t *testing.T) {
+	c := New(1 << 20)
+	if _, err := c.GetOrBuild("k", func() (any, int64, error) { return 1, 100, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Forcing a rebuild through failure-retry path would complicate things;
+	// exercise insertLocked replacement via invalidate + rebuild instead.
+	c.InvalidatePrefix("k")
+	if _, err := c.GetOrBuild("k", func() (any, int64, error) { return 2, 60, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Bytes != 60 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for windowd: build the daemon, load a CSV dataset,
+# run a framed percentile query over HTTP twice, and assert the second run
+# is served from the structure cache (hits up, no new builds). Also checks
+# /statusz, the windowcli -server mode, and graceful shutdown.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build -o "${TMPDIR:-/tmp}/windowd" ./cmd/windowd
+go build -o "${TMPDIR:-/tmp}/windowcli" ./cmd/windowcli
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    if [ -n "$pid" ]; then kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true; fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+{
+    echo "d,v"
+    for i in $(seq 1 500); do
+        printf '2024-%02d-%02d,%d\n' $(( (i % 12) + 1 )) $(( (i % 28) + 1 )) $(( (i * 37) % 100 ))
+    done
+} > "$tmp/data.csv"
+
+port=$(( 20000 + RANDOM % 20000 ))
+base="http://127.0.0.1:$port"
+"${TMPDIR:-/tmp}/windowd" -addr "127.0.0.1:$port" -load t="$tmp/data.csv" 2> "$tmp/windowd.log" &
+pid=$!
+
+for _ in $(seq 1 100); do
+    curl -sf "$base/healthz" > /dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -sf "$base/healthz" > /dev/null || { echo "FAIL: windowd never became healthy"; cat "$tmp/windowd.log"; exit 1; }
+
+query='{"sql":"select d, percentile_disc(0.5 order by v) over (order by d rows between 99 preceding and current row) as med from t"}'
+r1=$(curl -sf "$base/query" -H 'Content-Type: application/json' -d "$query")
+r2=$(curl -sf "$base/query" -H 'Content-Type: application/json' -d "$query")
+
+num() { printf '%s' "$1" | grep -o "\"$2\":[0-9]*" | head -1 | cut -d: -f2; }
+
+echo "$r1" | grep -q '"med"'       || { echo "FAIL: first query missing med column: $r1"; exit 1; }
+hits1=$(num "$r1" cache_hits); misses1=$(num "$r1" cache_misses)
+hits2=$(num "$r2" cache_hits); misses2=$(num "$r2" cache_misses)
+[ "$misses1" -gt 0 ]               || { echo "FAIL: cold query built nothing (misses=$misses1)"; exit 1; }
+[ "$hits2" -gt "$hits1" ]          || { echo "FAIL: repeat query did not hit the cache (hits $hits1 -> $hits2)"; exit 1; }
+[ "$misses2" -eq "$misses1" ]      || { echo "FAIL: repeat query rebuilt structures (misses $misses1 -> $misses2)"; exit 1; }
+
+curl -sf "$base/statusz" | grep -q "hits=$hits2" || { echo "FAIL: statusz does not report cache hits"; exit 1; }
+
+cli_out=$("${TMPDIR:-/tmp}/windowcli" -server "$base" \
+    -query "select count(distinct v) over (order by d rows between 49 preceding and current row) as cd from t")
+printf '%s\n' "$cli_out" | head -1 | grep -q '^cd$' || { echo "FAIL: windowcli -server output: $cli_out"; exit 1; }
+[ "$(printf '%s\n' "$cli_out" | wc -l)" -eq 501 ]   || { echo "FAIL: windowcli row count"; exit 1; }
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+grep -q "drained, bye" "$tmp/windowd.log" || { echo "FAIL: no graceful shutdown"; cat "$tmp/windowd.log"; exit 1; }
+pid=""
+
+echo "e2e smoke: OK (cold builds=$misses1, warm hits=+$(( hits2 - hits1 )))"
