@@ -1,0 +1,252 @@
+// Command benchdiff compares two `go test -bench` output files in the
+// style of benchstat: per benchmark and metric it takes the median over
+// repeated -count runs, prints an old/new/delta table, and exits nonzero
+// when any benchmark's ns/op regressed by more than the threshold.
+//
+// Usage:
+//
+//	benchdiff [-threshold pct] [-markdown] old.txt new.txt
+//
+// scripts/benchcompare.sh drives it against the merge-base so CI can fail
+// pull requests that slow the hot paths down.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "fail when ns/op regresses by more than this percentage")
+	markdown := flag.Bool("markdown", false, "emit a GitHub-flavored markdown table")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] old.txt new.txt\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldSet, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newSet, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	rows := diff(oldSet, newSet)
+	if len(rows) == 0 {
+		fmt.Println("no common benchmarks")
+		return
+	}
+	render(os.Stdout, rows, *markdown)
+	if failures := regressions(rows, *threshold); len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d benchmark(s) regressed more than %.0f%% in ns/op:\n", len(failures), *threshold)
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s: %s -> %s (%+.1f%%)\n",
+				f.Bench, formatValue(f.Old, f.Unit), formatValue(f.New, f.Unit), f.Delta)
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}
+
+// Samples collects one benchmark's repeated measurements per metric unit.
+type Samples map[string][]float64 // unit ("ns/op", "B/op", ...) -> values
+
+// parseFile reads a `go test -bench` output file into name -> samples.
+// The trailing -N GOMAXPROCS suffix is stripped from benchmark names so
+// runs from machines reporting different core counts still line up.
+func parseFile(path string) (map[string]Samples, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+func parseBench(r io.Reader) (map[string]Samples, error) {
+	out := make(map[string]Samples)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := stripProcs(fields[0])
+		// fields[1] is the iteration count; then (value, unit) pairs.
+		s := out[name]
+		if s == nil {
+			s = make(Samples)
+			out[name] = s
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // not a measurement line after all
+			}
+			s[fields[i+1]] = append(s[fields[i+1]], v)
+		}
+	}
+	return out, sc.Err()
+}
+
+// stripProcs removes the trailing -N GOMAXPROCS suffix.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
+}
+
+// median is the benchstat center: the middle sample, or the mean of the
+// two middles for even counts.
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Row is one (benchmark, metric) comparison.
+type Row struct {
+	Bench string
+	Unit  string
+	Old   float64
+	New   float64
+	Delta float64 // percent; +∞-safe: old==0 && new>0 reports +100
+}
+
+// metricOrder fixes the unit ordering within a benchmark's rows.
+var metricOrder = []string{"ns/op", "B/op", "allocs/op"}
+
+// diff pairs up benchmarks present in both sets.
+func diff(oldSet, newSet map[string]Samples) []Row {
+	names := make([]string, 0, len(oldSet))
+	for name := range oldSet {
+		if _, ok := newSet[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var rows []Row
+	for _, name := range names {
+		for _, unit := range metricOrder {
+			ov, nv := oldSet[name][unit], newSet[name][unit]
+			if len(ov) == 0 || len(nv) == 0 {
+				continue
+			}
+			om, nm := median(ov), median(nv)
+			var delta float64
+			switch {
+			case om == nm:
+				delta = 0
+			case om == 0:
+				delta = 100
+			default:
+				delta = (nm - om) / om * 100
+			}
+			rows = append(rows, Row{Bench: name, Unit: unit, Old: om, New: nm, Delta: delta})
+		}
+	}
+	return rows
+}
+
+// regressions filters ns/op rows above the threshold.
+func regressions(rows []Row, threshold float64) []Row {
+	var out []Row
+	for _, r := range rows {
+		if r.Unit == "ns/op" && r.Delta > threshold {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// formatValue renders a measurement with benchstat-style scaling.
+func formatValue(v float64, unit string) string {
+	switch unit {
+	case "ns/op":
+		switch {
+		case v >= 1e9:
+			return fmt.Sprintf("%.3fs", v/1e9)
+		case v >= 1e6:
+			return fmt.Sprintf("%.3fms", v/1e6)
+		case v >= 1e3:
+			return fmt.Sprintf("%.3fµs", v/1e3)
+		}
+		return fmt.Sprintf("%.1fns", v)
+	case "B/op":
+		switch {
+		case v >= 1<<20:
+			return fmt.Sprintf("%.2fMiB", v/(1<<20))
+		case v >= 1<<10:
+			return fmt.Sprintf("%.2fKiB", v/(1<<10))
+		}
+		return fmt.Sprintf("%.0fB", v)
+	case "allocs/op":
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%g %s", v, unit)
+}
+
+// render writes the comparison table, plus a geomean line over the ns/op
+// ratios when there are at least two timed benchmarks.
+func render(w io.Writer, rows []Row, markdown bool) {
+	write := func(cols ...string) {
+		if markdown {
+			fmt.Fprintf(w, "| %s |\n", strings.Join(cols, " | "))
+		} else {
+			fmt.Fprintf(w, "%-44s %-10s %12s %12s %9s\n", cols[0], cols[1], cols[2], cols[3], cols[4])
+		}
+	}
+	write("benchmark", "metric", "old", "new", "delta")
+	if markdown {
+		fmt.Fprintln(w, "|---|---|---:|---:|---:|")
+	}
+	var ratios []float64
+	for _, r := range rows {
+		write(r.Bench, r.Unit, formatValue(r.Old, r.Unit), formatValue(r.New, r.Unit), fmt.Sprintf("%+.1f%%", r.Delta))
+		if r.Unit == "ns/op" && r.Old > 0 && r.New > 0 {
+			ratios = append(ratios, r.New/r.Old)
+		}
+	}
+	if len(ratios) >= 2 {
+		write("geomean", "ns/op", "", "", fmt.Sprintf("%+.1f%%", (geomean(ratios)-1)*100))
+	}
+}
+
+func geomean(v []float64) float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(v)))
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const oldBench = `goos: linux
+goarch: amd64
+pkg: holistic/internal/mst
+BenchmarkBuild/n10000-8    996    1800000 ns/op    750896 B/op    996 allocs/op
+BenchmarkBuild/n10000-8    980    2000000 ns/op    750896 B/op    996 allocs/op
+BenchmarkBuild/n10000-8    990    1900000 ns/op    750896 B/op    996 allocs/op
+BenchmarkCountBelow-8    400000    3000 ns/op    0 B/op    0 allocs/op
+BenchmarkCountBelow-8    400000    2800 ns/op    0 B/op    0 allocs/op
+BenchmarkOnlyInOld-8    1    5 ns/op
+PASS
+`
+
+const newBench = `goos: linux
+goarch: amd64
+pkg: holistic/internal/mst
+BenchmarkBuild/n10000-16    996    1200000 ns/op    328904 B/op    33 allocs/op
+BenchmarkBuild/n10000-16    996    1300000 ns/op    328904 B/op    33 allocs/op
+BenchmarkBuild/n10000-16    996    1250000 ns/op    328904 B/op    33 allocs/op
+BenchmarkCountBelow-16    400000    3500 ns/op    0 B/op    0 allocs/op
+BenchmarkCountBelow-16    400000    3400 ns/op    0 B/op    0 allocs/op
+BenchmarkOnlyInNew-16    1    5 ns/op
+PASS
+`
+
+func parse(t *testing.T, s string) map[string]Samples {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseStripsProcsAndCollectsRuns(t *testing.T) {
+	m := parse(t, oldBench)
+	s, ok := m["BenchmarkBuild/n10000"]
+	if !ok {
+		t.Fatalf("missing stripped name; got keys %v", keys(m))
+	}
+	if got := len(s["ns/op"]); got != 3 {
+		t.Fatalf("ns/op runs = %d, want 3", got)
+	}
+	if got := len(s["allocs/op"]); got != 3 {
+		t.Fatalf("allocs/op runs = %d, want 3", got)
+	}
+}
+
+func keys(m map[string]Samples) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v, want 2", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", got)
+	}
+}
+
+func TestDiffPairsAndDeltas(t *testing.T) {
+	rows := diff(parse(t, oldBench), parse(t, newBench))
+	byKey := map[string]Row{}
+	for _, r := range rows {
+		byKey[r.Bench+"|"+r.Unit] = r
+	}
+	if _, ok := byKey["BenchmarkOnlyInOld|ns/op"]; ok {
+		t.Fatal("unpaired benchmark leaked into the diff")
+	}
+	b := byKey["BenchmarkBuild/n10000|ns/op"]
+	if b.Old != 1900000 || b.New != 1250000 {
+		t.Fatalf("build medians = %v/%v", b.Old, b.New)
+	}
+	if b.Delta > -34 || b.Delta < -35 {
+		t.Fatalf("build delta = %v, want ~-34.2%%", b.Delta)
+	}
+	c := byKey["BenchmarkCountBelow|ns/op"]
+	if c.Delta < 18 || c.Delta > 20 {
+		t.Fatalf("count delta = %v, want ~+19%%", c.Delta)
+	}
+	z := byKey["BenchmarkCountBelow|allocs/op"]
+	if z.Delta != 0 {
+		t.Fatalf("0 -> 0 allocs delta = %v, want 0", z.Delta)
+	}
+}
+
+func TestRegressionsThreshold(t *testing.T) {
+	rows := diff(parse(t, oldBench), parse(t, newBench))
+	if got := regressions(rows, 10); len(got) != 1 || got[0].Bench != "BenchmarkCountBelow" {
+		t.Fatalf("regressions(10) = %+v, want only BenchmarkCountBelow", got)
+	}
+	if got := regressions(rows, 25); len(got) != 0 {
+		t.Fatalf("regressions(25) = %+v, want none", got)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var b strings.Builder
+	render(&b, diff(parse(t, oldBench), parse(t, newBench)), true)
+	out := b.String()
+	for _, want := range []string{
+		"| benchmark | metric | old | new | delta |",
+		"|---|---|---:|---:|---:|",
+		"| BenchmarkBuild/n10000 | ns/op | 1.900ms | 1.250ms | -34.2% |",
+		"| geomean | ns/op |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown output missing %q:\n%s", want, out)
+		}
+	}
+}

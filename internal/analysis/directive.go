@@ -37,6 +37,7 @@ const (
 	DirectiveInvariant     = "invariant"
 	DirectiveFrameBoundsOK = "framebounds-ok"
 	DirectiveSortStableOK  = "sortstability-ok"
+	DirectivePoolAliasOK   = "poolalias-ok"
 )
 
 // KnownDirectives maps every understood directive name to whether it
@@ -47,6 +48,7 @@ var KnownDirectives = map[string]bool{
 	DirectiveInvariant:     true,
 	DirectiveFrameBoundsOK: true,
 	DirectiveSortStableOK:  true,
+	DirectivePoolAliasOK:   true,
 }
 
 const directivePrefix = "//lint:"

@@ -1,0 +1,136 @@
+// Package poolalias protects the recycling discipline of the pooled
+// scratch buffers (internal/arena.Pool and the Options get* helpers in
+// internal/core): a pooled buffer is handed out at an exact size class and
+// must come back at that class. Growing one with append either reallocates
+// — the grown slice silently escapes the pool and the original is never
+// put back — or, worse, extends in place into the class-cap tail, writing
+// bytes that alias the next request's allocation after the buffer is
+// recycled.
+//
+// The analyzer flags append calls whose first argument is (a variable
+// assigned from) a pool Get. The analysis is flow-insensitive within each
+// function: a variable that ever held a pooled buffer is treated as pooled
+// everywhere in that function, which errs on the side of reporting.
+// Call sites that provably stay within the requested length — or that
+// reslice before appending so the result never returns to the pool —
+// annotate with `//lint:poolalias-ok <reason>`; the reason is mandatory.
+package poolalias
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"holistic/internal/analysis"
+)
+
+// Analyzer is the poolalias analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolalias",
+	Doc:  "reports append on pooled scratch buffers, which breaks the size-class recycling contract",
+	Run:  run,
+}
+
+// poolGetters maps import-path suffix -> method names that hand out pooled
+// buffers.
+var poolGetters = map[string]map[string]bool{
+	"internal/arena": {"Get": true, "GetZeroed": true},
+	"internal/core":  {"getInt32s": true, "getInt64s": true, "getUint64s": true, "getBools": true},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFunc(pass, fn)
+			return true
+		})
+	}
+	pass.ReportBareDirectives(analysis.DirectivePoolAliasOK)
+	return nil
+}
+
+// checkFunc inspects one function (closures included — pooled buffers
+// captured by the probe closures are the most common aliasing hazard).
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// Pass 1: every variable assigned from a pool Get anywhere in the
+	// function is pooled.
+	pooled := make(map[types.Object]bool)
+	ast.Inspect(fn, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isPoolGet(pass, rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					pooled[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: report appends whose base is pooled (by variable or
+	// directly from a Get call).
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			return true
+		}
+		if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+			return true
+		}
+		var what string
+		switch base := ast.Unparen(call.Args[0]).(type) {
+		case *ast.Ident:
+			if pooled[pass.TypesInfo.ObjectOf(base)] {
+				what = base.Name
+			}
+		case *ast.CallExpr:
+			if isPoolGet(pass, base) {
+				what = "a fresh pool Get"
+			}
+		}
+		if what == "" {
+			return true
+		}
+		if _, ok := pass.Suppression(call.Pos(), analysis.DirectivePoolAliasOK); ok {
+			return true
+		}
+		pass.Reportf(call.Pos(), "append on pooled buffer %s: growth breaks the size-class recycling contract (write by index, or annotate //lint:poolalias-ok <reason>)", what)
+		return true
+	})
+}
+
+// isPoolGet reports whether expr is a call to one of the pool getters.
+func isPoolGet(pass *analysis.Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	for suffix, names := range poolGetters {
+		if strings.HasSuffix(fn.Pkg().Path(), suffix) && names[fn.Name()] {
+			return true
+		}
+	}
+	return false
+}

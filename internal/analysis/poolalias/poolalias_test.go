@@ -1,0 +1,12 @@
+package poolalias_test
+
+import (
+	"testing"
+
+	"holistic/internal/analysis/analysistest"
+	"holistic/internal/analysis/poolalias"
+)
+
+func TestPoolAlias(t *testing.T) {
+	analysistest.Run(t, "testdata", poolalias.Analyzer, "pa/internal/core")
+}

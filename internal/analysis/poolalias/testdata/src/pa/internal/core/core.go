@@ -1,0 +1,84 @@
+// Package core stands in for internal/core's pooled scratch helpers and
+// exercises every shape of append the analyzer must judge.
+package core
+
+import "pa/internal/arena"
+
+// Options mirrors the pooled-scratch accessors.
+type Options struct{ NoPool bool }
+
+func (o Options) getInt32s(n int) []int32 {
+	if o.NoPool {
+		return make([]int32, n)
+	}
+	return arena.Int32s.Get(n)
+}
+
+func appendOnHelperBuffer(o Options) []int32 {
+	buf := o.getInt32s(8)
+	buf = append(buf, 1) // want "append on pooled buffer buf"
+	return buf
+}
+
+func appendOnDirectGet() []int32 {
+	return append(arena.Int32s.Get(4), 9) // want "append on pooled buffer a fresh pool Get"
+}
+
+func appendOnZeroedGet() {
+	buf := arena.Int32s.GetZeroed(4)
+	buf = append(buf, 2) // want "append on pooled buffer buf"
+	arena.Int32s.Put(buf)
+}
+
+// The analysis is flow-insensitive: once pooled in a function, always
+// pooled — even when the append textually precedes the pool assignment.
+func flowInsensitive(o Options) {
+	var buf []int32
+	buf = append(buf, 3) // want "append on pooled buffer buf"
+	buf = o.getInt32s(2)
+	o.putInt32s(buf)
+}
+
+func (o Options) putInt32s(buf []int32) {
+	if o.NoPool {
+		return
+	}
+	arena.Int32s.Put(buf)
+}
+
+// Pooled buffers captured by closures stay pooled inside them.
+func closureCapture(o Options) {
+	buf := o.getInt32s(4)
+	grow := func() {
+		buf = append(buf, 5) // want "append on pooled buffer buf"
+	}
+	grow()
+	o.putInt32s(buf)
+}
+
+func indexedWritesAreFine(o Options) []int32 {
+	buf := o.getInt32s(8)
+	for i := range buf {
+		buf[i] = int32(i)
+	}
+	return buf
+}
+
+func plainSlicesAreFine() []int32 {
+	s := make([]int32, 0, 4)
+	s = append(s, 1)
+	return s
+}
+
+func suppressedWithReason(o Options) {
+	buf := o.getInt32s(8)
+	//lint:poolalias-ok the result is resliced to the original class cap and never returned to the pool
+	buf = append(buf[:0], 7)
+	_ = buf
+}
+
+func bareHatchIsAFinding(o Options) {
+	buf := o.getInt32s(2)
+	buf = append(buf, 3) //lint:poolalias-ok // want "needs a justification string"
+	_ = buf
+}

@@ -9,6 +9,7 @@ import (
 	"holistic/internal/analysis/lintdirective"
 	"holistic/internal/analysis/nopanic"
 	"holistic/internal/analysis/parallelbody"
+	"holistic/internal/analysis/poolalias"
 	"holistic/internal/analysis/sortstability"
 )
 
@@ -19,6 +20,7 @@ func All() []*analysis.Analyzer {
 		lintdirective.Analyzer,
 		nopanic.Analyzer,
 		parallelbody.Analyzer,
+		poolalias.Analyzer,
 		sortstability.Analyzer,
 	}
 }

@@ -1,0 +1,91 @@
+package arena
+
+import (
+	"testing"
+)
+
+// refAlloc is a map-based reference allocator: it models the arena contract
+// (zeroed allocations, checkpoint/reset invalidation) without any slab
+// machinery. Live allocations are tracked by sequence number; a reset
+// invalidates every allocation made after the checkpoint's sequence number.
+type refAlloc struct {
+	seq  int
+	live map[int][]int32 // seq -> expected contents
+}
+
+// FuzzArenaCheckpoint drives an Arena through interleaved alloc, checkpoint
+// and reset operations decided by the fuzz input, mirroring each step in the
+// reference allocator, and checks that (a) every allocation comes back
+// zeroed, (b) surviving allocations retain their written contents, and
+// (c) Len never goes negative or exceeds Cap.
+func FuzzArenaCheckpoint(f *testing.F) {
+	f.Add([]byte{1, 5, 0, 1, 9, 2, 1, 3, 3})
+	f.Add([]byte{0, 1, 200, 1, 7, 0, 2})
+	f.Add([]byte{2, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		a := New[int32](16) // small chunks: lots of boundary crossings
+		ref := refAlloc{live: map[int][]int32{}}
+		type mark struct {
+			cp  Checkpoint
+			seq int
+		}
+		var marks []mark
+		i := 0
+		next := func() int {
+			if i >= len(ops) {
+				return 0
+			}
+			b := ops[i]
+			i++
+			return int(b)
+		}
+		for i < len(ops) {
+			switch next() % 3 {
+			case 0: // alloc
+				n := next() % 40
+				s := a.Alloc(n)
+				if len(s) != n {
+					t.Fatalf("Alloc(%d) returned len %d", n, len(s))
+				}
+				for j, v := range s {
+					if v != 0 {
+						t.Fatalf("Alloc(%d) not zeroed at %d: %d", n, j, v)
+					}
+				}
+				ref.seq++
+				for j := range s {
+					s[j] = int32(ref.seq*1000 + j)
+				}
+				ref.live[ref.seq] = s
+			case 1: // checkpoint
+				marks = append(marks, mark{cp: a.Checkpoint(), seq: ref.seq})
+			case 2: // reset to a random earlier checkpoint
+				if len(marks) == 0 {
+					continue
+				}
+				m := marks[next()%len(marks)]
+				a.Reset(m.cp)
+				marks = marks[:0]
+				for s := range ref.live {
+					if s > m.seq {
+						delete(ref.live, s)
+					}
+				}
+				ref.seq = m.seq
+			}
+			if a.Len() < 0 || a.Len() > a.Cap() {
+				t.Fatalf("Len %d out of range [0, %d]", a.Len(), a.Cap())
+			}
+		}
+		// Every allocation that survived all resets must retain its contents:
+		// the arena must not have recycled live space.
+		for seq, s := range ref.live {
+			for j, v := range s {
+				if v != int32(seq*1000+j) {
+					t.Fatalf("live allocation seq %d corrupted at %d: got %d want %d",
+						seq, j, v, seq*1000+j)
+				}
+			}
+		}
+	})
+}

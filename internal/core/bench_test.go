@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"holistic/internal/frame"
+	"holistic/internal/mst"
+	"holistic/internal/preprocess"
+	"holistic/internal/treecache"
+)
+
+// The EvalMST benchmarks measure the steady-state per-row probe cost of the
+// merge-sort-tree engines with every cached structure already built — the
+// regime a warm server operates in. The acceptance bar for the allocation
+// work is that the count and select probes run at 0 allocs/op.
+
+// benchPartition assembles one partition plus frame computer exactly the way
+// Run does, for a table with no PARTITION BY.
+func benchPartition(b *testing.B, n int, f *FuncSpec) (*partition, *frame.Computer) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1234))
+	tab := randTable(rng, n)
+	w := &WindowSpec{
+		OrderBy: []SortKey{{Column: "d"}},
+		Frame: frame.Spec{
+			Mode:  frame.Rows,
+			Start: frame.Bound{Type: frame.Preceding, Offset: 100},
+			End:   frame.Bound{Type: frame.Following, Offset: 100},
+		},
+		FrameSet: true,
+		Funcs:    []FuncSpec{*f},
+	}
+	if err := w.validate(tab); err != nil {
+		b.Fatal(err)
+	}
+	sortIdx := preprocess.SortIndices(n, windowComparator(tab, w))
+	parts := splitPartitions(tab, w, sortIdx)
+	if len(parts) != 1 {
+		b.Fatalf("expected 1 partition, got %d", len(parts))
+	}
+	p := parts[0]
+	fc, err := p.frameComputer(p.w.effectiveFrame(&p.w.Funcs[0]))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, fc
+}
+
+// BenchmarkEvalMSTCount probes COUNT(DISTINCT) per row against a pre-built
+// tree: one frame computation plus one cascaded count query.
+func BenchmarkEvalMSTCount(b *testing.B) {
+	const n = 20_000
+	f := &FuncSpec{Name: CountDistinct, Output: "x", Arg: "v"}
+	p, fc := benchPartition(b, n, f)
+	var opt Options
+	fl := newFiltered(p, &p.w.Funcs[0], f.Arg, opt)
+	prev, next := buildDistinctInputs(fl, &p.w.Funcs[0], opt, nil)
+	tree, err := mst.Build(prev, opt.Tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scratch, mapped [3][2]int
+	var sink int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row := i % n
+		ranges := fl.frameRanges(fc, row, scratch[:], mapped[:])
+		sink += distinctCount(tree, prev, next, ranges)
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+// BenchmarkEvalMSTSelect probes FIRST_VALUE per row against a pre-built
+// permutation tree: one frame computation plus one cascaded selection.
+func BenchmarkEvalMSTSelect(b *testing.B) {
+	const n = 20_000
+	f := &FuncSpec{Name: FirstValue, Output: "x", Arg: "v", OrderBy: []SortKey{{Column: "v"}}}
+	p, fc := benchPartition(b, n, f)
+	var opt Options
+	fl := newFiltered(p, &p.w.Funcs[0], "", opt)
+	sortedKept := keptOrder(fl, p.sortedByFuncOrder(&p.w.Funcs[0]), make([]int32, fl.k))
+	perm := preprocess.Permutation(sortedKept)
+	tree, err := mst.Build(perm, opt.Tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scratch, mapped [3][2]int
+	var r64 [3][2]int64
+	var sink int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row := i % n
+		ranges := fl.frameRanges(fc, row, scratch[:], mapped[:])
+		size := 0
+		for ri, r := range ranges {
+			size += r[1] - r[0]
+			r64[ri] = [2]int64{int64(r[0]), int64(r[1])}
+		}
+		if size == 0 {
+			continue
+		}
+		if pos, ok := tree.SelectKthRanges(r64[:len(ranges)], 0); ok {
+			sink += fl.orig(int(tree.Value(pos)))
+		}
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+// BenchmarkEvalMSTRunWarm measures a full Run with a warm structure cache —
+// the per-request cost a caching server pays after the first query: output
+// columns and per-partition bookkeeping, with all trees reused.
+func BenchmarkEvalMSTRunWarm(b *testing.B) {
+	const n = 20_000
+	rng := rand.New(rand.NewSource(1234))
+	tab := randTable(rng, n)
+	w := &WindowSpec{
+		OrderBy: []SortKey{{Column: "d"}},
+		Frame: frame.Spec{
+			Mode:  frame.Rows,
+			Start: frame.Bound{Type: frame.Preceding, Offset: 100},
+			End:   frame.Bound{Type: frame.Following, Offset: 100},
+		},
+		FrameSet: true,
+		Funcs: []FuncSpec{
+			{Name: CountDistinct, Output: "c", Arg: "v"},
+			{Name: FirstValue, Output: "f", Arg: "v", OrderBy: []SortKey{{Column: "v"}}},
+		},
+	}
+	opt := Options{Cache: treecache.New(64 << 20), CacheScope: "bench@v1"}
+	if _, err := Run(tab, w, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tab, w, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -20,22 +20,33 @@ type filtered struct {
 	k     int               // filtered length
 }
 
-func newFiltered(p *partition, f *FuncSpec, dropNullCol string) *filtered {
-	mask := p.includeMask(f, dropNullCol)
+func newFiltered(p *partition, f *FuncSpec, dropNullCol string, opt Options) *filtered {
+	mask := p.includeMask(f, dropNullCol, opt)
 	r := remapFor(mask)
+	opt.putBools(mask) // NewRemap copied what it needs
 	return &filtered{p: p, remap: r, k: filteredLen(p, r)}
 }
 
 // keptOrder projects the all-rows function-order sort onto the filtered
-// domain: the kept rows in function order, as filtered-domain indices.
-func keptOrder(fl *filtered, sortedAll []int32) []int32 {
-	out := make([]int32, 0, fl.k)
+// domain: the kept rows in function order, as filtered-domain indices. The
+// result is written into buf when it has sufficient capacity (buf may come
+// from pooled scratch — indexed writes only, never append) and always has
+// length fl.k.
+func keptOrder(fl *filtered, sortedAll []int32, buf []int32) []int32 {
+	var out []int32
+	if cap(buf) >= fl.k {
+		out = buf[:fl.k]
+	} else {
+		out = make([]int32, fl.k)
+	}
+	w := 0
 	for _, pos := range sortedAll {
 		if fl.kept(int(pos)) {
-			out = append(out, int32(fl.toFiltered(int(pos))))
+			out[w] = int32(fl.toFiltered(int(pos)))
+			w++
 		}
 	}
-	return out
+	return out[:w]
 }
 
 // local maps a filtered position to a partition-local position.
@@ -97,7 +108,7 @@ func evalCounts(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, 
 	if f.Name == Count {
 		drop = f.Arg
 	}
-	fl := newFiltered(p, f, drop)
+	fl := newFiltered(p, f, drop, opt)
 	return forEachRow(p, opt, func(lo, hi int) {
 		var scratch, mapped [3][2]int
 		for i := lo; i < hi; i++ {
@@ -115,23 +126,26 @@ func evalCounts(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, 
 // exclusion-hole correction. next[j] is the next occurrence of j's value in
 // the filtered domain, with fl.k as the "none" sentinel. The two stages
 // are profiled separately, matching Figure 14's phase split.
-func buildDistinctInputs(fl *filtered, f *FuncSpec, prof *Profile) (prev, next []int64) {
+func buildDistinctInputs(fl *filtered, f *FuncSpec, opt Options, prof *Profile) (prev, next []int64) {
 	cmpArg := fl.p.argCompare(f)
 	eqArg := fl.p.argEqual(f)
 	// Sort primarily by value hashes so the hot comparisons are integer
 	// compares regardless of the argument type (§6.7); the real comparator
 	// only breaks hash ties, so collisions cost time, never correctness.
+	// Both the hash array and the sorted index array are pure temporaries
+	// and live in pooled scratch; prev/next are retained by the cache and
+	// must be allocated fresh.
 	col := fl.p.t.Column(f.Arg)
 	var hashes []uint64
 	prof.timed("preprocess: populate hashes", func() {
-		hashes = make([]uint64, fl.k)
+		hashes = opt.getUint64s(fl.k)
 		for j := range hashes {
 			hashes[j] = col.hashAt(fl.orig(j))
 		}
 	})
 	var sorted []int32
 	prof.timed("preprocess: sort hashes", func() {
-		sorted = preprocess.SortIndices(fl.k, func(a, b int) int {
+		sorted = preprocess.SortIndicesIn(opt.getInt32s(fl.k), fl.k, func(a, b int) int {
 			ha, hb := hashes[a], hashes[b]
 			if ha != hb {
 				if ha < hb {
@@ -155,6 +169,8 @@ func buildDistinctInputs(fl *filtered, f *FuncSpec, prof *Profile) (prev, next [
 			}
 		}
 	})
+	opt.putInt32s(sorted)
+	opt.putUint64s(hashes)
 	return prev, next
 }
 
@@ -212,13 +228,13 @@ func forEachFullyExcluded(prev, next []int64, ranges [][2]int, visit func(h int)
 // are cache-shared across queries: they depend only on the argument column,
 // the filter and the tree options, never on the frame.
 func evalDistinct(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, opt Options, prof *Profile) error {
-	fl := newFiltered(p, f, f.Arg)
+	fl := newFiltered(p, f, f.Arg, opt)
 
 	switch f.Name {
 	case CountDistinct:
 		key := p.cacheKey("distinct-count", strconv.Quote(f.Arg), strconv.Quote(f.Filter), treeSig(opt.Tree))
 		st, err := cacheGet(opt, key, func() (cachedDistinct, int64, error) {
-			prev, next := buildDistinctInputs(fl, f, prof)
+			prev, next := buildDistinctInputs(fl, f, opt, prof)
 			var tree *mst.Tree
 			var buildErr error
 			prof.timed("build merge sort tree", func() {
@@ -299,7 +315,7 @@ func runSumDistinct[S any](p *partition, f *FuncSpec, fc *frame.Computer, out *o
 	valueOf func(j int) S, add func(a, b S) S, sub func(a, b S) S, emit func(row int, v S)) error {
 	key := p.cacheKey("distinct-agg", f.Name.String(), kind, strconv.Quote(f.Arg), strconv.Quote(f.Filter), treeSig(opt.Tree))
 	st, err := cacheGet(opt, key, func() (cachedAgg[S], int64, error) {
-		prev, next := buildDistinctInputs(fl, f, opt.Profile)
+		prev, next := buildDistinctInputs(fl, f, opt, opt.Profile)
 		values := make([]S, fl.k)
 		for j := range values {
 			values[j] = valueOf(j)
@@ -349,7 +365,7 @@ func runSumDistinct[S any](p *partition, f *FuncSpec, fc *frame.Computer, out *o
 // NTILE via counting queries on a merge sort tree over preprocessed rank
 // keys (§4.4, Figure 8).
 func evalRankFamily(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, opt Options) error {
-	fl := newFiltered(p, f, "")
+	fl := newFiltered(p, f, "", opt)
 
 	// Thresholds must exist for every row (also filtered-out ones), so rank
 	// keys are computed over the whole partition; the tree only holds the
@@ -379,11 +395,13 @@ func evalRankFamily(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuild
 			} else {
 				keysAll, _ = preprocess.DenseRanks(sortedAll, p.funcEqual(f))
 			}
-			keysKept := make([]int64, fl.k)
+			// keysKept is a pure temporary: Build copies its input.
+			keysKept := opt.getInt64s(fl.k)
 			for j := range keysKept {
 				keysKept[j] = keysAll[fl.local(j)]
 			}
 			tree, buildErr := mst.Build(keysKept, opt.Tree)
+			opt.putInt64s(keysKept)
 			if buildErr != nil {
 				return cachedRank{}, 0, buildErr
 			}
@@ -468,7 +486,7 @@ func ntileBucket(r, size, b int64) int64 {
 
 // evalDenseRank evaluates the framed DENSE_RANK with the range tree of §4.4.
 func evalDenseRank(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, opt Options) error {
-	fl := newFiltered(p, f, "")
+	fl := newFiltered(p, f, "", opt)
 	st, err := cacheGet(opt, p.cacheKey("dense", orderSig(p, f), strconv.Quote(f.Filter), treeSig(opt.Tree)),
 		func() (cachedDense, int64, error) {
 			sortedAll := p.sortedByFuncOrder(f)
@@ -477,7 +495,9 @@ func evalDenseRank(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilde
 			for j := range ranksKept {
 				ranksKept[j] = ranksAll[fl.local(j)]
 			}
-			sortedKept := preprocess.SortIndicesByKey(ranksKept)
+			// sortedKept is a pure temporary; ranksKept/prevKept/nextKept are
+			// retained by the cache and stay make-allocated.
+			sortedKept := preprocess.SortIndicesByKeyIn(opt.getInt32s(fl.k), ranksKept)
 			sameKept := func(a, b int) bool { return ranksKept[a] == ranksKept[b] }
 			prevKept := preprocess.PrevIndices(sortedKept, sameKept)
 			nextKept := make([]int64, fl.k)
@@ -489,6 +509,7 @@ func evalDenseRank(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilde
 					nextKept[sortedKept[i-1]] = int64(sortedKept[i])
 				}
 			}
+			opt.putInt32s(sortedKept)
 			rt, buildErr := rangetree.New(ranksKept, prevKept, opt.Tree)
 			if buildErr != nil {
 				return cachedDense{}, 0, buildErr
@@ -538,12 +559,15 @@ func evalSelectFamily(p *partition, f *FuncSpec, fc *frame.Computer, out *outBui
 			drop = f.Arg
 		}
 	}
-	fl := newFiltered(p, f, drop)
+	fl := newFiltered(p, f, drop, opt)
 	st, err := cacheGet(opt, p.cacheKey("select", orderSig(p, f), strconv.Quote(drop), strconv.Quote(f.Filter), treeSig(opt.Tree)),
 		func() (cachedSelect, int64, error) {
-			sortedKept := keptOrder(fl, p.sortedByFuncOrder(f))
-			perm := preprocess.Permutation(sortedKept)
+			// Both arrays are pure temporaries: Build copies the permutation.
+			sortedKept := keptOrder(fl, p.sortedByFuncOrder(f), opt.getInt32s(fl.k))
+			perm := preprocess.PermutationIn(opt.getInt64s(fl.k), sortedKept)
 			tree, buildErr := mst.Build(perm, opt.Tree)
+			opt.putInt64s(perm)
+			opt.putInt32s(sortedKept)
 			if buildErr != nil {
 				return cachedSelect{}, 0, buildErr
 			}
@@ -648,7 +672,7 @@ func evalLeadLag(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder,
 	if f.IgnoreNulls {
 		drop = f.Arg
 	}
-	fl := newFiltered(p, f, drop)
+	fl := newFiltered(p, f, drop, opt)
 	st, err := cacheGet(opt, p.cacheKey("leadlag", orderSig(p, f), strconv.Quote(drop), strconv.Quote(f.Filter), treeSig(opt.Tree)),
 		func() (cachedLeadLag, int64, error) {
 			m := p.len()
@@ -663,9 +687,11 @@ func evalLeadLag(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder,
 					keptBefore++
 				}
 			}
-			sortedKept := keptOrder(fl, sortedAll)
-			perm := preprocess.Permutation(sortedKept)
+			sortedKept := keptOrder(fl, sortedAll, opt.getInt32s(fl.k))
+			perm := preprocess.PermutationIn(opt.getInt64s(fl.k), sortedKept)
 			tree, buildErr := mst.Build(perm, opt.Tree)
+			opt.putInt64s(perm)
+			opt.putInt32s(sortedKept)
 			if buildErr != nil {
 				return cachedLeadLag{}, 0, buildErr
 			}

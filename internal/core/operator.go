@@ -35,6 +35,14 @@ type Options struct {
 	// against the previous version. With an empty scope the cache is
 	// bypassed.
 	CacheScope string
+	// NoPool opts out of the pooled scratch buffers the evaluation engines
+	// borrow for preprocessing temporaries (hash arrays, sorted index
+	// buffers, permutations, inclusion masks); every temporary is then
+	// allocated fresh with make. Results are byte-identical either way —
+	// enforced by the pooling equivalence tests — so the flag exists for
+	// allocation-behavior comparisons and as an escape hatch. The merge sort
+	// tree's own substrate is controlled separately by Tree.NoArena.
+	NoPool bool
 }
 
 func (o Options) taskSize() int {

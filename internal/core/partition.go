@@ -239,8 +239,10 @@ func (p *partition) argCompare(f *FuncSpec) func(a, b int) int {
 // includeMask computes the function's inclusion mask over partition-local
 // positions, or nil when every row is included. dropNullCol optionally names
 // a column whose NULL rows are excluded (argument NULLs for aggregates,
-// IGNORE NULLS for value functions, the percentile ORDER BY column).
-func (p *partition) includeMask(f *FuncSpec, dropNullCol string) []bool {
+// IGNORE NULLS for value functions, the percentile ORDER BY column). A
+// non-nil mask comes from pooled scratch per opt — the caller must put it
+// back (via Options.putBools) once consumed.
+func (p *partition) includeMask(f *FuncSpec, dropNullCol string, opt Options) []bool {
 	var filterCol, nullCol *Column
 	if f.Filter != "" {
 		filterCol = p.t.Column(f.Filter)
@@ -254,7 +256,7 @@ func (p *partition) includeMask(f *FuncSpec, dropNullCol string) []bool {
 	if filterCol == nil && nullCol == nil {
 		return nil
 	}
-	mask := make([]bool, p.len())
+	mask := opt.getBools(p.len())
 	for i := range mask {
 		o := p.orig(i)
 		keep := true

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"holistic/internal/mst"
+)
+
+// Pooled scratch must be invisible in results: for any dataset, frame and
+// window function, evaluation with the pools and arenas enabled returns
+// byte-identical output to evaluation with Options.NoPool/Tree.NoArena set.
+// A divergence means a pooled buffer leaked into retained state or was
+// handed out dirty where zeroed memory was assumed.
+
+// assertColumnsIdentical compares two result columns exactly — float values
+// by bit pattern, not tolerance, since both runs execute the same arithmetic.
+func assertColumnsIdentical(t *testing.T, label string, pooled, plain *Column) {
+	t.Helper()
+	if pooled.Len() != plain.Len() || pooled.Kind() != plain.Kind() {
+		t.Fatalf("%s: shape mismatch: len %d/%d kind %v/%v",
+			label, pooled.Len(), plain.Len(), pooled.Kind(), plain.Kind())
+	}
+	for i := 0; i < pooled.Len(); i++ {
+		if pooled.IsNull(i) != plain.IsNull(i) {
+			t.Fatalf("%s row %d: null mismatch: pooled=%v plain=%v",
+				label, i, pooled.IsNull(i), plain.IsNull(i))
+		}
+		if pooled.IsNull(i) {
+			continue
+		}
+		switch pooled.Kind() {
+		case Int64:
+			if pooled.Int64(i) != plain.Int64(i) {
+				t.Fatalf("%s row %d: %d != %d", label, i, pooled.Int64(i), plain.Int64(i))
+			}
+		case Float64:
+			if math.Float64bits(pooled.Float64(i)) != math.Float64bits(plain.Float64(i)) {
+				t.Fatalf("%s row %d: %v != %v (bitwise)", label, i, pooled.Float64(i), plain.Float64(i))
+			}
+		case String:
+			if pooled.StringAt(i) != plain.StringAt(i) {
+				t.Fatalf("%s row %d: %q != %q", label, i, pooled.StringAt(i), plain.StringAt(i))
+			}
+		case Bool:
+			if pooled.Bool(i) != plain.Bool(i) {
+				t.Fatalf("%s row %d: %v != %v", label, i, pooled.Bool(i), plain.Bool(i))
+			}
+		}
+	}
+}
+
+func TestPoolEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	treeVariants := []mst.Options{{}, {Fanout: 2, SampleEvery: 1}, {NoCascading: true}, {Force64: true}}
+	trials := 10
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := []int{0, 1, 3, 13, 40, 150}[trial%6]
+		tab := randTable(rng, n)
+		fs := randFrame(rng)
+		w := &WindowSpec{
+			OrderBy:  []SortKey{{Column: "d", Desc: rng.Intn(2) == 0}},
+			Frame:    fs,
+			FrameSet: true,
+			Funcs:    allFuncSpecs(rng),
+		}
+		if rng.Intn(2) == 0 {
+			w.PartitionBy = []string{"g"}
+		}
+		tree := treeVariants[trial%len(treeVariants)]
+		pooledOpt := Options{Tree: tree, TaskSize: 16}
+		plainOpt := pooledOpt
+		plainOpt.NoPool = true
+		plainOpt.Tree.NoArena = true
+
+		pooled, err := Run(tab, w, pooledOpt)
+		if err != nil {
+			t.Fatalf("trial %d pooled: %v", trial, err)
+		}
+		plain, err := Run(tab, w, plainOpt)
+		if err != nil {
+			t.Fatalf("trial %d plain: %v", trial, err)
+		}
+		for i := range w.Funcs {
+			f := &w.Funcs[i]
+			label := fmt.Sprintf("trial %d %v (%s) frame{%v %v/%v ex%d}",
+				trial, f.Name, f.Output, fs.Mode, fs.Start.Type, fs.End.Type, fs.Exclude)
+			assertColumnsIdentical(t, label, pooled.Column(f.Output), plain.Column(f.Output))
+		}
+	}
+}
+
+// TestPoolEquivalenceAllEngines repeats the check for the competitor engines
+// that share newFiltered's pooled inclusion masks.
+func TestPoolEquivalenceAllEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 4; trial++ {
+		n := []int{8, 40}[trial%2]
+		tab := randTable(rng, n)
+		fs := randFrame(rng)
+		fs.Exclude = 0 // competitors reject exclusion
+		w := &WindowSpec{
+			OrderBy:  []SortKey{{Column: "d"}},
+			Frame:    fs,
+			FrameSet: true,
+		}
+		ordV := []SortKey{{Column: "v"}}
+		w.Funcs = []FuncSpec{
+			{Name: CountDistinct, Output: "c1", Arg: "v", Engine: EngineIncremental, Filter: "flt"},
+			{Name: CountDistinct, Output: "c2", Arg: "v", Engine: EngineNaive, Filter: "flt"},
+			{Name: Rank, Output: "r1", OrderBy: ordV, Engine: EngineOSTree},
+			{Name: Rank, Output: "r2", OrderBy: ordV, Engine: EngineSegmentTree},
+			{Name: FirstValue, Output: "f1", Arg: "s", OrderBy: ordV, Engine: EngineSegmentTree, Filter: "flt"},
+			{Name: FirstValue, Output: "f2", Arg: "s", OrderBy: ordV, Engine: EngineNaive, Filter: "flt"},
+		}
+		pooled, err := Run(tab, w, Options{TaskSize: 16})
+		if err != nil {
+			t.Fatalf("trial %d pooled: %v", trial, err)
+		}
+		plain, err := Run(tab, w, Options{TaskSize: 16, NoPool: true, Tree: mst.Options{NoArena: true}})
+		if err != nil {
+			t.Fatalf("trial %d plain: %v", trial, err)
+		}
+		for i := range w.Funcs {
+			f := &w.Funcs[i]
+			label := fmt.Sprintf("trial %d engine %v %v", trial, f.Engine, f.Name)
+			assertColumnsIdentical(t, label, pooled.Column(f.Output), plain.Column(f.Output))
+		}
+	}
+}

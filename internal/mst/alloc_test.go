@@ -1,0 +1,126 @@
+package mst
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Steady-state queries — CountBelow, CountRange, SelectKth, AggBelow — must
+// not allocate: their descent state lives on the goroutine stack and the
+// cascade lookups are pure array arithmetic. These guards pin that property
+// so a refactor that makes a closure or descent frame escape fails loudly.
+
+func allocTree(t testing.TB, n int) (*Tree, []int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(int64(n))
+	}
+	tr, err := Build(keys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, keys
+}
+
+func TestAllocsCountQueries(t *testing.T) {
+	tr, _ := allocTree(t, 4096)
+	n := tr.Len()
+	sink := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		sink += tr.CountBelow(n/8, n-n/8, int64(n/2))
+		sink += tr.CountRange(0, n, int64(n/4), int64(3*n/4))
+	})
+	if allocs != 0 {
+		t.Fatalf("count queries allocate %.1f objects/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestAllocsSelectQueries(t *testing.T) {
+	tr, _ := allocTree(t, 4096)
+	n := tr.Len()
+	sink := 0
+	var ranges [2][2]int64
+	ranges[0] = [2]int64{0, int64(n / 3)}
+	ranges[1] = [2]int64{int64(n / 2), int64(n)}
+	allocs := testing.AllocsPerRun(200, func() {
+		pos, ok := tr.SelectKth(0, int64(n), 17)
+		if ok {
+			sink += pos
+		}
+		pos, ok = tr.SelectKthRanges(ranges[:], 5)
+		if ok {
+			sink += pos
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("select queries allocate %.1f objects/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestAllocsAnnotatedAggBelow(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 4096
+	keys := make([]int64, n)
+	weights := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(int64(n))
+		weights[i] = rng.Int63n(100)
+	}
+	at, err := BuildAnnotated(keys, weights, func(a, b int64) int64 { return a + b }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink int64
+	allocs := testing.AllocsPerRun(200, func() {
+		if v, ok := at.AggBelow(n/8, n-n/8, int64(n/2)); ok {
+			sink += v
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AggBelow allocates %.1f objects/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+// The build path has a small, documented allocation allowance. With the
+// scratch pools warm, a serial build of n=10_000 (3 levels at f=32) performs
+// roughly:
+//
+//   - 2 structs (Tree, tree) + 1 base-payload copy
+//   - 2 arena structs + 2 arena chunk slabs (one per element type; the
+//     slabs hold every level and sample array)
+//   - ~4 appends each for the levels/samples/stride/effLen bookkeeping
+//     slices (they start empty and grow a handful of headers)
+//
+// for about two dozen objects regardless of n. The guard uses a generous
+// bound — the point is to catch a return to per-run scratch allocation
+// (which costs ~3 allocations per merge run, i.e. thousands at this size),
+// not to pin the exact constant.
+func TestAllocsBuildSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	keys := make([]int64, 10_000)
+	for i := range keys {
+		keys[i] = rng.Int63n(int64(len(keys)))
+	}
+	opt := Options{Serial: true}
+	if _, err := Build(keys, opt); err != nil { // warm the pools
+		t.Fatal(err)
+	}
+	var sink *Tree
+	allocs := testing.AllocsPerRun(5, func() {
+		tr, err := Build(keys, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink = tr
+	})
+	const allowance = 64
+	if allocs > allowance {
+		t.Fatalf("serial build allocates %.0f objects/op, allowance is %d — per-run merge scratch is escaping the pools", allocs, allowance)
+	}
+	_ = sink
+}

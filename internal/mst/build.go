@@ -1,6 +1,10 @@
 package mst
 
 import (
+	"math"
+	"unsafe"
+
+	"holistic/internal/arena"
 	"holistic/internal/parallel"
 )
 
@@ -11,10 +15,16 @@ import (
 // Figure 4, produced "as a byproduct of constructing the merge sort tree by
 // persisting the input iterators used during the merge steps".
 //
-// Lower levels have many runs, so each run is merged by its own task; upper
-// levels have few runs, so the merge itself is split into independent output
-// pieces whose child splits are found with a rank binary search over the
-// value domain (§5.2).
+// Lower levels have many runs, so runs are batched into tasks of roughly
+// DefaultTaskSize tuples; upper levels have few runs, so the merge itself is
+// split into independent output pieces whose child splits are found with a
+// rank binary search over the value domain (§5.2).
+//
+// Allocation discipline: the level and sample arrays for the whole tree are
+// carved out of one arena slab per element type (their total size is known
+// up front), and each merge task borrows its scratch state — consumed
+// counters, tournament tree, head values — from the shared pools, so a
+// steady stream of builds allocates only the slabs themselves.
 func buildTree[P payload](base []P, opt Options) *tree[P] {
 	n := len(base)
 	t := &tree[P]{n: n, f: opt.Fanout, k: opt.SampleEvery}
@@ -26,6 +36,31 @@ func buildTree[P payload](base []P, opt Options) *tree[P] {
 		return t
 	}
 	cascade := !opt.NoCascading
+
+	// Pre-size one slab per element type so the arena never grows: every
+	// level holds exactly n payload elements, and the sample table size per
+	// level follows from the run count and stride.
+	var arP *arena.Arena[P]
+	var arS *arena.Arena[int32]
+	if !opt.NoArena {
+		totalP, totalS := 0, 0
+		for rl := 1; rl < n; {
+			rl *= t.f
+			if rl > n {
+				rl = n
+			}
+			totalP += n
+			if cascade {
+				numRuns := (n + rl - 1) / rl
+				totalS += numRuns * (rl/t.k + 1) * t.f
+			}
+		}
+		arP = arena.New[P](totalP)
+		if totalS > 0 {
+			arS = arena.New[int32](totalS)
+		}
+	}
+
 	for rl := 1; rl < n; {
 		rl *= t.f
 		if rl > n {
@@ -33,31 +68,55 @@ func buildTree[P payload](base []P, opt Options) *tree[P] {
 		}
 		level := len(t.levels)
 		t.effLen = append(t.effLen, rl)
-		out := make([]P, n)
+		var out []P
+		if arP != nil {
+			out = arP.Alloc(n)
+		} else {
+			out = make([]P, n)
+		}
 		t.levels = append(t.levels, out)
 		numRuns := (n + rl - 1) / rl
 		var samples []int32
 		stride := 0
 		if cascade {
 			stride = (rl/t.k + 1) * t.f
-			samples = make([]int32, numRuns*stride)
+			// Sample slots beyond a run's child count stay zero; the arena
+			// hands out zeroed memory just like make.
+			if arS != nil {
+				samples = arS.Alloc(numRuns * stride)
+			} else {
+				samples = make([]int32, numRuns*stride)
+			}
 		}
 		t.samples = append(t.samples, samples)
 		t.stride = append(t.stride, stride)
 
 		workers := parallel.Workers()
 		if opt.Serial || numRuns >= workers || workers == 1 {
-			mergeRuns := func(r int) { t.mergeRun(level, r, samples, stride) }
 			if opt.Serial {
+				buf, vals := mergeScratch[P](t.f, opt.NoArena)
 				for r := 0; r < numRuns; r++ {
-					mergeRuns(r)
+					t.mergeRun(level, r, samples, stride, buf, vals)
 				}
+				putMergeScratch(opt.NoArena, buf, vals)
 			} else {
-				parallel.ForEach(numRuns, mergeRuns)
+				// Batch runs so one scratch acquisition serves ~one task's
+				// worth of tuples.
+				runsPerTask := 1
+				if rl < parallel.DefaultTaskSize {
+					runsPerTask = (parallel.DefaultTaskSize + rl - 1) / rl
+				}
+				parallel.For(numRuns, runsPerTask, func(lo, hi int) {
+					buf, vals := mergeScratch[P](t.f, opt.NoArena)
+					for r := lo; r < hi; r++ {
+						t.mergeRun(level, r, samples, stride, buf, vals)
+					}
+					putMergeScratch(opt.NoArena, buf, vals)
+				})
 			}
 		} else {
 			for r := 0; r < numRuns; r++ {
-				t.mergeRunParallel(level, r, samples, stride, workers)
+				t.mergeRunParallel(level, r, samples, stride, workers, opt.NoArena)
 			}
 		}
 		if rl >= n {
@@ -67,7 +126,21 @@ func buildTree[P payload](base []P, opt Options) *tree[P] {
 	return t
 }
 
-// children returns the child runs of run r at the given level.
+// childRunOf returns child run c of a parent run whose children are the
+// consecutive childLen-sized pieces of childData (the last piece may be
+// short). Pure slicing — no allocation.
+func childRunOf[P payload](childData []P, childLen, c int) []P {
+	start := c * childLen
+	end := start + childLen
+	if end > len(childData) {
+		end = len(childData)
+	}
+	return childData[start:end]
+}
+
+// children returns the child runs of run r at the given level. Only used by
+// invariant tests; the merge path indexes childRunOf directly to avoid the
+// per-run slice-of-slices allocation.
 func (t *tree[P]) children(level, r int) [][]P {
 	childLen := t.effLen[level-1]
 	runStart := r * t.effLen[level]
@@ -75,62 +148,112 @@ func (t *tree[P]) children(level, r int) [][]P {
 	if runEnd > t.n {
 		runEnd = t.n
 	}
-	kids := make([][]P, 0, t.f)
-	for s := runStart; s < runEnd; s += childLen {
-		e := s + childLen
-		if e > runEnd {
-			e = runEnd
-		}
-		kids = append(kids, t.levels[level-1][s:e])
+	childData := t.levels[level-1][runStart:runEnd]
+	m := (runEnd - runStart + childLen - 1) / childLen
+	kids := make([][]P, m)
+	for c := range kids {
+		kids[c] = childRunOf(childData, childLen, c)
 	}
 	return kids
 }
 
+// payloadPool returns the shared scratch pool matching P's width, or nil
+// when P is a named type the shared pools cannot serve.
+func payloadPool[P payload]() *arena.Pool[P] {
+	if p, ok := any(arena.Int32s).(*arena.Pool[P]); ok {
+		return p
+	}
+	if p, ok := any(arena.Int64s).(*arena.Pool[P]); ok {
+		return p
+	}
+	return nil
+}
+
+// mergeScratch acquires per-task merge state: a 6f-element int32 buffer
+// (cursors, run ends, tiebreaks, loser tree, winner init — sliced by
+// mergePiece) and an f-element head-value array.
+func mergeScratch[P payload](f int, noPool bool) ([]int32, []P) {
+	if noPool {
+		return make([]int32, 6*f), make([]P, f)
+	}
+	buf := arena.Int32s.Get(6 * f)
+	if p := payloadPool[P](); p != nil {
+		return buf, p.Get(f)
+	}
+	return buf, make([]P, f)
+}
+
+// putMergeScratch recycles buffers acquired by mergeScratch.
+func putMergeScratch[P payload](noPool bool, buf []int32, vals []P) {
+	if noPool {
+		return
+	}
+	arena.Int32s.Put(buf)
+	if p := payloadPool[P](); p != nil {
+		p.Put(vals)
+	}
+}
+
 // mergeRun merges the children of run r at the given level into the level's
-// output array, recording cascading samples.
-func (t *tree[P]) mergeRun(level, r int, samples []int32, stride int) {
+// output array, recording cascading samples. buf and vals come from
+// mergeScratch.
+func (t *tree[P]) mergeRun(level, r int, samples []int32, stride int, buf []int32, vals []P) {
 	runStart := r * t.effLen[level]
 	runEnd := runStart + t.effLen[level]
 	if runEnd > t.n {
 		runEnd = t.n
 	}
-	kids := t.children(level, r)
-	consumed := make([]int32, len(kids))
+	childLen := t.effLen[level-1]
+	m := (runEnd - runStart + childLen - 1) / childLen
 	var sampleRun []int32
 	if samples != nil {
 		sampleRun = samples[r*stride : (r+1)*stride]
 	}
-	t.mergePiece(t.levels[level][runStart:runEnd], kids, consumed, sampleRun, 0, runEnd-runStart)
+	t.mergePiece(t.levels[level][runStart:runEnd], t.levels[level-1][runStart:runEnd],
+		childLen, m, nil, buf, vals, sampleRun, 0, runEnd-runStart)
 }
 
 // mergeRunParallel splits the merge of run r into `workers` output pieces;
 // the per-child split positions for each piece boundary are found with a
 // rank search over the value domain, so pieces merge independently
 // (Francis et al. 1993, cited in §5.2).
-func (t *tree[P]) mergeRunParallel(level, r int, samples []int32, stride, workers int) {
+func (t *tree[P]) mergeRunParallel(level, r int, samples []int32, stride, workers int, noPool bool) {
 	runStart := r * t.effLen[level]
 	runEnd := runStart + t.effLen[level]
 	if runEnd > t.n {
 		runEnd = t.n
 	}
 	length := runEnd - runStart
-	kids := t.children(level, r)
+	childLen := t.effLen[level-1]
+	childData := t.levels[level-1][runStart:runEnd]
+	m := (length + childLen - 1) / childLen
+	f := t.f
 	pieces := workers
 	if pieces > length/1024 {
 		pieces = length / 1024
 	}
 	if pieces <= 1 {
-		t.mergeRun(level, r, samples, stride)
+		buf, vals := mergeScratch[P](f, noPool)
+		t.mergeRun(level, r, samples, stride, buf, vals)
+		putMergeScratch(noPool, buf, vals)
 		return
 	}
-	splits := make([][]int32, pieces+1)
-	splits[0] = make([]int32, len(kids))
-	splits[pieces] = make([]int32, len(kids))
-	for c, kid := range kids {
-		splits[pieces][c] = int32(len(kid))
+	// Flat split table: row p holds the per-child consumed counts at output
+	// boundary length*p/pieces. Row 0 is all zeros; row `pieces` is the child
+	// lengths.
+	var flat []int32
+	if noPool {
+		flat = make([]int32, (pieces+1)*m)
+	} else {
+		flat = arena.Int32s.Get((pieces + 1) * m)
+	}
+	clear(flat[:m])
+	last := flat[pieces*m : (pieces+1)*m]
+	for c := 0; c < m; c++ {
+		last[c] = int32(len(childRunOf(childData, childLen, c)))
 	}
 	for p := 1; p < pieces; p++ {
-		splits[p] = findSplit(kids, length*p/pieces)
+		findSplitInto(flat[p*m:(p+1)*m], childData, childLen, m, length*p/pieces)
 	}
 	var sampleRun []int32
 	if samples != nil {
@@ -143,94 +266,203 @@ func (t *tree[P]) mergeRunParallel(level, r int, samples []int32, stride, worker
 		if p == pieces-1 {
 			t1 = length
 		}
-		consumed := make([]int32, len(kids))
-		copy(consumed, splits[p])
-		t.mergePiece(out, kids, consumed, sampleRun, t0, t1)
+		buf, vals := mergeScratch[P](f, noPool)
+		t.mergePiece(out, childData, childLen, m, flat[p*m:(p+1)*m],
+			buf, vals, sampleRun, t0, t1)
+		putMergeScratch(noPool, buf, vals)
 	})
+	if !noPool {
+		arena.Int32s.Put(flat)
+	}
 }
 
-// mergePiece merges outputs [t0, t1) of the run (given the consumed counts
-// at t0) using an f-way heap ordered by (value, child index) — the child
-// index tiebreak keeps the merge stable. Samples are recorded at every
-// output position that is a multiple of k, plus the final boundary.
-func (t *tree[P]) mergePiece(out []P, kids [][]P, consumed []int32, sampleRun []int32, t0, t1 int) {
-	type head struct {
-		v P
-		c int32
+// maxPayload is the largest value of P, used as the exhausted-run sentinel.
+// A live run can legitimately hold this value, so comparisons always break
+// ties on the tiebreak array, where exhausted runs sort after every live run.
+func maxPayload[P payload]() P {
+	var z P
+	if unsafe.Sizeof(z) == 4 {
+		v := int32(math.MaxInt32)
+		return P(v)
 	}
-	heap := make([]head, 0, len(kids))
-	push := func(h head) {
-		heap = append(heap, h)
-		i := len(heap) - 1
-		for i > 0 {
-			p := (i - 1) / 2
-			if heap[p].v < heap[i].v || (heap[p].v == heap[i].v && heap[p].c <= heap[i].c) {
-				break
+	v := int64(math.MaxInt64)
+	return P(v)
+}
+
+// mergePiece merges outputs [t0, t1) of the run using a tournament (loser)
+// tree of the m child runs, ordered by (value, child index) — the
+// child-index tiebreak keeps the merge stable. Unlike a binary heap,
+// advancing the winner costs exactly ⌈log₂ m⌉ comparisons along one root
+// path, with no sift-down branching.
+//
+// split, when non-nil, gives the per-child consumed counts at output t0 (a
+// row of mergeRunParallel's split table); nil means the piece starts at the
+// beginning of every child.
+//
+// buf is mergeScratch's 6f-element scratch, laid out as cursor | end | tb |
+// ltree | winners(2f): cursor[c]/end[c] are leaf c's absolute position and
+// limit within childData, so refilling a leaf is two loads and a compare —
+// no re-slicing. Node layout: leaves occupy virtual slots m..2m-1 (leaf c at
+// m+c), internal nodes 1..m-1 hold the loser of their subtree's playoff,
+// parent(i) = i/2. vals[c]/tb[c] are leaf c's head value and tiebreak; an
+// exhausted leaf holds (maxPayload, m+c) so it loses against any live leaf,
+// even one whose head equals maxPayload (live tiebreaks are < m).
+//
+// Samples are recorded at every output position that is a multiple of k,
+// plus the final boundary; the merge loop runs in sample-free blocks so the
+// hot path has no modulo.
+func (t *tree[P]) mergePiece(out []P, childData []P, childLen, m int, split []int32, buf []int32, vals []P, sampleRun []int32, t0, t1 int) {
+	k, f := t.k, t.f
+	if childLen == 1 && split == nil && t0 == 0 && t1 == len(out) && (sampleRun == nil || k >= t1) {
+		// Leaf level: every child is a single element, so the merge is a
+		// small stable sort. Sample rows, if any, are only the zero row
+		// (already zeroed storage) and the full-run boundary row.
+		copy(out, childData[:t1])
+		insertionSort(out)
+		if sampleRun != nil && t1%k == 0 {
+			base := (t1 / k) * f
+			for c := 0; c < m; c++ {
+				sampleRun[base+c] = 1
 			}
-			heap[p], heap[i] = heap[i], heap[p]
-			i = p
+		}
+		return
+	}
+	cursor := buf[:m]
+	end := buf[f : f+m]
+	for c := 0; c < m; c++ {
+		start := c * childLen
+		stop := start + childLen
+		if stop > len(childData) {
+			stop = len(childData)
+		}
+		cursor[c] = int32(start)
+		if split != nil {
+			cursor[c] += split[c]
+		}
+		end[c] = int32(stop)
+	}
+	writeSample := func(row int) {
+		base := row * f
+		for c := 0; c < m; c++ {
+			sampleRun[base+c] = cursor[c] - int32(c*childLen)
 		}
 	}
-	popMin := func() head {
-		h := heap[0]
-		last := len(heap) - 1
-		heap[0] = heap[last]
-		heap = heap[:last]
-		i := 0
-		for {
-			l, r := 2*i+1, 2*i+2
-			m := i
-			if l < len(heap) && (heap[l].v < heap[m].v || (heap[l].v == heap[m].v && heap[l].c < heap[m].c)) {
-				m = l
+	if m == 1 {
+		// Single child: the run is already sorted, only samples to record.
+		c0 := int(cursor[0])
+		if sampleRun != nil {
+			for p := t0; p < t1; p++ {
+				if p%k == 0 {
+					sampleRun[(p/k)*f] = int32(c0)
+				}
+				out[p] = childData[c0]
+				c0++
 			}
-			if r < len(heap) && (heap[r].v < heap[m].v || (heap[r].v == heap[m].v && heap[r].c < heap[m].c)) {
-				m = r
+			if t1 == len(out) && t1%k == 0 {
+				sampleRun[(t1/k)*f] = int32(c0)
 			}
-			if m == i {
-				break
-			}
-			heap[i], heap[m] = heap[m], heap[i]
-			i = m
+		} else {
+			copy(out[t0:t1], childData[c0:c0+(t1-t0)])
 		}
-		return h
+		return
 	}
-	for c, kid := range kids {
-		if int(consumed[c]) < len(kid) {
-			push(head{kid[consumed[c]], int32(c)})
+	maxV := maxPayload[P]()
+	tb := buf[2*f : 2*f+m]
+	ltree := buf[3*f : 3*f+m]
+	winners := buf[4*f : 4*f+2*m]
+	for c := 0; c < m; c++ {
+		if cursor[c] < end[c] {
+			vals[c] = childData[cursor[c]]
+			tb[c] = int32(c)
+		} else {
+			vals[c] = maxV
+			tb[c] = int32(m + c)
 		}
 	}
-	k := t.k
-	f := t.f
-	for p := t0; p < t1; p++ {
-		if sampleRun != nil && p%k == 0 {
-			copy(sampleRun[(p/k)*f:(p/k)*f+len(kids)], consumed)
+	// Build the tournament bottom-up: winners[] is only needed during init.
+	for c := 0; c < m; c++ {
+		winners[m+c] = int32(c)
+	}
+	for i := m - 1; i >= 1; i-- {
+		a, b := winners[2*i], winners[2*i+1]
+		if vals[a] < vals[b] || (vals[a] == vals[b] && tb[a] < tb[b]) {
+			winners[i], ltree[i] = a, b
+		} else {
+			winners[i], ltree[i] = b, a
 		}
-		h := popMin()
-		out[p] = h.v
-		consumed[h.c]++
-		kid := kids[h.c]
-		if int(consumed[h.c]) < len(kid) {
-			push(head{kid[consumed[h.c]], h.c})
+	}
+	winner := winners[1]
+	p := t0
+	for p < t1 {
+		stop := t1
+		if sampleRun != nil {
+			if p%k == 0 {
+				writeSample(p / k)
+			}
+			if next := (p/k + 1) * k; next < stop {
+				stop = next
+			}
+		}
+		for ; p < stop; p++ {
+			c := winner
+			out[p] = vals[c]
+			pos := cursor[c] + 1
+			cursor[c] = pos
+			if pos < end[c] {
+				vals[c] = childData[pos]
+			} else {
+				vals[c] = maxV
+				tb[c] = int32(m) + c
+			}
+			// Replay the root path: the refilled leaf competes against the
+			// stored losers; whoever loses stays, the winner moves up.
+			w := c
+			vw, tw := vals[w], tb[w]
+			for i := (m + int(c)) >> 1; i >= 1; i >>= 1 {
+				l := ltree[i]
+				vl, tl := vals[l], tb[l]
+				if vl < vw || (vl == vw && tl < tw) {
+					ltree[i] = w
+					w, vw, tw = l, vl, tl
+				}
+			}
+			winner = w
 		}
 	}
 	if sampleRun != nil && t1 == len(out) && t1%k == 0 {
-		copy(sampleRun[(t1/k)*f:(t1/k)*f+len(kids)], consumed)
+		writeSample(t1 / k)
 	}
 }
 
-// findSplit returns, for every child run, how many of its elements belong to
-// the first want outputs of the stable merge of kids. It binary searches the
-// value domain for the smallest value v such that at least `want` elements
-// are <= v, then assigns the elements equal to v to children in child order
-// (matching the merge's tiebreak).
-func findSplit[P payload](kids [][]P, want int) []int32 {
-	split := make([]int32, len(kids))
+// insertionSort stably sorts a small slice ascending; equal elements keep
+// their original (child) order, matching the merge's tiebreak.
+func insertionSort[P payload](a []P) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// findSplitInto computes, for every child run, how many of its elements
+// belong to the first `want` outputs of the stable merge, writing the counts
+// into split (length m). It binary searches the value domain for the
+// smallest value v such that at least `want` elements are <= v, then assigns
+// the elements equal to v to children in child order (matching the merge's
+// tiebreak).
+func findSplitInto[P payload](split []int32, childData []P, childLen, m, want int) {
+	clear(split)
 	if want <= 0 {
-		return split
+		return
 	}
 	var lo, hi int64
 	first := true
-	for _, kid := range kids {
+	for c := 0; c < m; c++ {
+		kid := childRunOf(childData, childLen, c)
 		if len(kid) == 0 {
 			continue
 		}
@@ -251,8 +483,8 @@ func findSplit[P payload](kids [][]P, want int) []int32 {
 	for lo < hi {
 		mid := lo + int64((uint64(hi)-uint64(lo))>>1)
 		cnt := 0
-		for _, kid := range kids {
-			cnt += upperBoundP(kid, P(mid))
+		for c := 0; c < m; c++ {
+			cnt += upperBoundP(childRunOf(childData, childLen, c), P(mid))
 		}
 		if cnt >= want {
 			hi = mid
@@ -262,23 +494,19 @@ func findSplit[P payload](kids [][]P, want int) []int32 {
 	}
 	v := P(lo)
 	base := 0
-	for c, kid := range kids {
-		split[c] = int32(lowerBoundP(kid, v))
+	for c := 0; c < m; c++ {
+		split[c] = int32(lowerBoundP(childRunOf(childData, childLen, c), v))
 		base += int(split[c])
 	}
 	rem := want - base
-	for c, kid := range kids {
-		if rem <= 0 {
-			break
-		}
-		eq := upperBoundP(kid, v) - int(split[c])
+	for c := 0; c < m && rem > 0; c++ {
+		eq := upperBoundP(childRunOf(childData, childLen, c), v) - int(split[c])
 		if eq > rem {
 			eq = rem
 		}
 		split[c] += int32(eq)
 		rem -= eq
 	}
-	return split
 }
 
 // lowerBoundP returns the number of elements of the sorted slice a that are

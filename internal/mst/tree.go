@@ -61,6 +61,12 @@ type Options struct {
 	Force64 bool
 	// Serial disables parallel construction.
 	Serial bool
+	// NoArena opts out of the allocation substrate: tree levels, cascading
+	// samples and merge scratch are allocated with plain make instead of the
+	// per-build arena slabs and shared scratch pools. Results are identical;
+	// the flag exists for allocation-behavior comparisons and as an escape
+	// hatch should the substrate misbehave.
+	NoArena bool
 }
 
 func (o Options) withDefaults() Options {

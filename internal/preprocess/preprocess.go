@@ -24,7 +24,19 @@ import (
 // leaving the relative order of duplicates unchanged") — and the sort runs
 // in parallel.
 func SortIndices(n int, compare func(a, b int) int) []int32 {
-	idx := make([]int32, n)
+	return SortIndicesIn(nil, n, compare)
+}
+
+// SortIndicesIn is SortIndices writing into buf when it has sufficient
+// capacity (a fresh array is allocated otherwise), so callers can run the
+// sort in pooled scratch. The returned slice has length n and aliases buf.
+func SortIndicesIn(buf []int32, n int, compare func(a, b int) int) []int32 {
+	var idx []int32
+	if cap(buf) >= n {
+		idx = buf[:n]
+	} else {
+		idx = make([]int32, n)
+	}
 	for i := range idx {
 		idx[i] = int32(i)
 	}
@@ -39,7 +51,13 @@ func SortIndices(n int, compare func(a, b int) int) []int32 {
 
 // SortIndicesByKey is SortIndices specialised to precomputed int64 keys.
 func SortIndicesByKey(keys []int64) []int32 {
-	return SortIndices(len(keys), func(a, b int) int {
+	return SortIndicesByKeyIn(nil, keys)
+}
+
+// SortIndicesByKeyIn is SortIndicesByKey writing into buf (see
+// SortIndicesIn).
+func SortIndicesByKeyIn(buf []int32, keys []int64) []int32 {
+	return SortIndicesIn(buf, len(keys), func(a, b int) int {
 		return cmp.Compare(keys[a], keys[b])
 	})
 }
@@ -102,7 +120,19 @@ func RowNumbers(sorted []int32) []int64 {
 // the r-th smallest value. This is exactly the sorted index array, re-typed
 // to document intent.
 func Permutation(sorted []int32) []int64 {
-	perm := make([]int64, len(sorted))
+	return PermutationIn(nil, sorted)
+}
+
+// PermutationIn is Permutation writing into buf when it has sufficient
+// capacity, so the array can live in pooled scratch (the merge sort tree
+// copies its input, making the permutation a pure temporary).
+func PermutationIn(buf []int64, sorted []int32) []int64 {
+	var perm []int64
+	if cap(buf) >= len(sorted) {
+		perm = buf[:len(sorted)]
+	} else {
+		perm = make([]int64, len(sorted))
+	}
 	for r, pos := range sorted {
 		perm[r] = int64(pos)
 	}

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"holistic/internal/arena"
 	"holistic/internal/core"
 	"holistic/internal/csvio"
 	"holistic/internal/sqlparse"
@@ -274,6 +275,10 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	st := s.cache.Stats()
 	fmt.Fprintf(&b, "cache: entries=%d bytes=%d budget=%d hits=%d misses=%d joins=%d failures=%d evictions=%d invalidations=%d build_time=%s\n",
 		st.Entries, st.Bytes, st.Budget, st.Hits, st.Misses, st.Joins, st.Failures, st.Evictions, st.Invalidations, st.BuildTime.Round(time.Microsecond))
+	fmt.Fprintf(&b, "arena: %s\n", arena.ArenaSnapshot())
+	for _, ps := range arena.Snapshot() {
+		fmt.Fprintf(&b, "%s\n", ps)
+	}
 	s.mu.RLock()
 	names := make([]*dataset, 0, len(s.datasets))
 	for _, ds := range s.datasets {

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Benchmark-regression harness: runs the MST and core benchmarks at HEAD
+# and at a base revision (default: the merge-base with main), then feeds
+# both outputs to cmd/benchdiff, which prints an old/new/delta table and
+# exits nonzero when any benchmark's ns/op regressed past the threshold.
+#
+# Usage: scripts/benchcompare.sh [base-ref]
+#
+# Environment knobs:
+#   PKGS       packages to benchmark   (default "./internal/mst/ ./internal/core/")
+#   BENCH      -bench regexp           (default ".")
+#   COUNT      runs per benchmark      (default 6, medians are taken)
+#   BENCHTIME  -benchtime per run      (default "0.5s")
+#   THRESHOLD  regression gate in %    (default 10)
+#   MARKDOWN   non-empty: markdown table (for CI job summaries)
+#   OUT        output directory        (default a fresh mktemp -d)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+base_ref="${1:-$(git merge-base HEAD origin/main 2>/dev/null || git merge-base HEAD main)}"
+PKGS=${PKGS:-"./internal/mst/ ./internal/core/"}
+BENCH=${BENCH:-"."}
+COUNT=${COUNT:-6}
+BENCHTIME=${BENCHTIME:-"0.5s"}
+THRESHOLD=${THRESHOLD:-10}
+OUT=${OUT:-$(mktemp -d)}
+mkdir -p "$OUT"
+
+worktree=$(mktemp -d)
+cleanup() {
+    git worktree remove --force "$worktree" >/dev/null 2>&1 || true
+    rm -rf "$worktree"
+}
+trap cleanup EXIT
+
+echo "benchcompare: base $(git rev-parse --short "$base_ref") vs HEAD $(git rev-parse --short HEAD)" >&2
+git worktree add --quiet --force --detach "$worktree" "$base_ref" >&2
+
+run_bench() {
+    # shellcheck disable=SC2086  # PKGS is a deliberate word list
+    (cd "$1" && go test -run='^$' -bench="$BENCH" -benchmem \
+        -count="$COUNT" -benchtime="$BENCHTIME" $PKGS)
+}
+
+echo "benchcompare: benchmarking base..." >&2
+run_bench "$worktree" > "$OUT/base.txt"
+echo "benchcompare: benchmarking HEAD..." >&2
+run_bench "$PWD" > "$OUT/head.txt"
+
+go run ./cmd/benchdiff -threshold "$THRESHOLD" ${MARKDOWN:+-markdown} "$OUT/base.txt" "$OUT/head.txt"
