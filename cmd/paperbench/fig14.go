@@ -10,8 +10,8 @@ import (
 // distinct count over lineitem. The paper's phases at SF 10 — partitioning
 // and sorting for the window operator, Algorithm 1's populate/sort/compute
 // steps, the tree build, and the embarrassingly parallel result
-// computation — map onto the operator's profile as documented in
-// EXPERIMENTS.md.
+// computation — map onto the operator's trace spans as documented in
+// EXPERIMENTS.md and DESIGN.md §9.
 func runFig14() {
 	n := 600_000 // SF 0.1
 	if *quick {
@@ -21,19 +21,21 @@ func runFig14() {
 		n = 6_000_000 // SF 1
 	}
 	table := lineitem(n).Table()
-	prof := &holistic.Profile{}
+	root := holistic.NewTrace("fig14")
 	w := holistic.Over().OrderBy(holistic.Asc("l_shipdate")).
 		Frame(holistic.Rows(holistic.UnboundedPreceding(), holistic.CurrentRow()))
-	_, err := holistic.RunOptions(table, w, holistic.Options{Profile: prof},
-		holistic.CountDistinct("l_partkey").As("cd"))
+	_, err := holistic.RunWith(table, w,
+		[]*holistic.Func{holistic.CountDistinct("l_partkey").As("cd")},
+		holistic.WithTrace(root))
+	root.End()
 	die(err)
-	total := prof.Total()
+	total := root.Duration()
 	var rows [][]string
-	for _, ph := range prof.Phases() {
+	for _, ph := range root.PhaseTotals() {
 		rows = append(rows, []string{
 			ph.Name,
-			fmt.Sprintf("%v", ph.Duration.Round(10_000)),
-			fmt.Sprintf("%5.1f%%", 100*ph.Duration.Seconds()/total.Seconds()),
+			fmt.Sprintf("%v", ph.Total.Round(10_000)),
+			fmt.Sprintf("%5.1f%%", 100*ph.Total.Seconds()/total.Seconds()),
 		})
 	}
 	printTable([]string{"phase", "time", "share"}, rows)

@@ -50,6 +50,7 @@ var (
 	engine    = flag.String("engine", "mst", "engine: mst, incremental, naive, ostree, segtree")
 	query     = flag.String("query", "", "full SQL statement (paper dialect); overrides the per-function flags; FROM must name 'csv'")
 	explain   = flag.Bool("explain", false, "with -query: print the evaluation plan instead of running")
+	trace     = flag.Bool("trace", false, "print the evaluation's span tree (phases, per-function evals, workers) to stderr")
 	server    = flag.String("server", "", "windowd base URL (e.g. http://127.0.0.1:8080); runs -query remotely instead of locally")
 	dataset   = flag.String("dataset", "", "with -server: dataset name; uploads -i under this name before querying")
 	timeoutMS = flag.Int64("timeout-ms", 0, "with -server: per-query timeout in milliseconds (0 = server default)")
@@ -91,14 +92,23 @@ func main() {
 	fail(err)
 	table := file.Table
 
+	var opts []holistic.Option
+	var root *holistic.Span
+	if *trace {
+		root = holistic.NewTrace("query")
+		opts = append(opts, holistic.WithTrace(root))
+	}
 	var result *holistic.Table
 	if *query != "" {
-		result, err = holistic.RunSQL(*query, map[string]*holistic.Table{"csv": table})
-		fail(err)
+		result, err = holistic.RunSQLWith(*query, map[string]*holistic.Table{"csv": table}, opts...)
 	} else {
-		result, err = runFlags(table)
-		fail(err)
+		result, err = runFlags(table, opts)
 	}
+	if root != nil {
+		root.End()
+		fmt.Fprint(os.Stderr, root.Render())
+	}
+	fail(err)
 
 	var out io.Writer = os.Stdout
 	if *output != "-" {
@@ -138,9 +148,12 @@ func runRemote() error {
 		fmt.Print(plan)
 		return nil
 	}
-	resp, err := c.Query(ctx, api.QueryRequest{SQL: *query, TimeoutMillis: *timeoutMS})
+	resp, err := c.Query(ctx, api.QueryRequest{SQL: *query, TimeoutMillis: *timeoutMS, IncludeTrace: *trace})
 	if err != nil {
 		return err
+	}
+	if resp.Trace != "" {
+		fmt.Fprint(os.Stderr, resp.Trace)
 	}
 	var out io.Writer = os.Stdout
 	if *output != "-" {
@@ -166,7 +179,7 @@ func runRemote() error {
 
 // runFlags evaluates the single function described by the flags and returns
 // the input columns plus the result column.
-func runFlags(table *holistic.Table) (*holistic.Table, error) {
+func runFlags(table *holistic.Table, opts []holistic.Option) (*holistic.Table, error) {
 	w := holistic.Over()
 	if *partition != "" {
 		w.PartitionBy(strings.Split(*partition, ",")...)
@@ -186,7 +199,7 @@ func runFlags(table *holistic.Table) (*holistic.Table, error) {
 	}
 	fn = fn.As(*asName).WithEngine(parseEngine(*engine))
 
-	res, err := holistic.Run(table, w, fn)
+	res, err := holistic.RunWith(table, w, []*holistic.Func{fn}, opts...)
 	if err != nil {
 		return nil, err
 	}

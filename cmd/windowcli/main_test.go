@@ -99,7 +99,7 @@ func TestRunFlagsEndToEnd(t *testing.T) {
 	*partition = ""
 	*exclude = ""
 	defer func() { *orderBy, *funcName, *value = "", "", "" }()
-	res, err := runFlags(table)
+	res, err := runFlags(table, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

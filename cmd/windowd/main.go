@@ -6,14 +6,17 @@
 // a dataset:
 //
 //	windowd -addr :8080 -load orders=orders.csv &
-//	curl -s localhost:8080/query -d '{"sql":
+//	curl -s localhost:8080/v1/query -d '{"sql":
 //	    "select o_date, percentile_disc(0.5 order by o_total)
 //	     over (order by o_date rows between 999 preceding and current row) as median
 //	     from orders"}'
 //
 // Built merge sort trees and preprocessed arrays are cached across queries
-// under a byte budget (-cache-bytes); /statusz reports hit rates, latency
-// histograms and per-dataset versions.
+// under a byte budget (-cache-bytes). Observability: /v1/metrics exposes the
+// Prometheus text exposition (request/eval latency histograms, cache, pool
+// and arena counters), /statusz a human-readable status page, -slow-query
+// logs span trees of slow evaluations, and -debug-addr serves net/http/pprof
+// on a separate opt-in listener.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -54,6 +58,8 @@ func main() {
 		defaultTimeout = flag.Duration("default-timeout", 30*time.Second, "query timeout when the request sets none")
 		maxTimeout     = flag.Duration("max-timeout", 5*time.Minute, "upper bound on per-request timeouts")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
+		slowQuery      = flag.Duration("slow-query", 0, "log queries at least this slow at WARN with their span tree (0 = disabled)")
+		debugAddr      = flag.String("debug-addr", "", "listen address for the pprof debug server (empty = disabled)")
 		loads          loadFlags
 	)
 	flag.Var(&loads, "load", "dataset to load at startup as name=path (repeatable)")
@@ -65,6 +71,7 @@ func main() {
 		MaxConcurrent:  *maxConcurrent,
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
+		SlowQuery:      *slowQuery,
 		Logger:         log,
 	})
 	for _, l := range loads {
@@ -75,6 +82,28 @@ func main() {
 			os.Exit(1)
 		}
 		log.Info("loaded dataset", "dataset", info.Name, "rows", info.Rows, "columns", len(info.Columns))
+	}
+
+	// The pprof endpoints live on their own opt-in listener, never on the
+	// query port: profiles expose internals no API client should reach.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Error("debug listen", "addr", *debugAddr, "err", err)
+			os.Exit(1)
+		}
+		go func() {
+			log.Info("pprof debug server listening", "addr", dln.Addr().String())
+			if err := http.Serve(dln, dmux); err != nil {
+				log.Error("debug serve", "err", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{

@@ -45,7 +45,9 @@ type Column = core.Column
 // Result holds the output columns of a Run, in input row order.
 type Result = core.Result
 
-// Profile records per-phase execution timings (see Options.Profile).
+// Profile records per-phase execution timings as an aggregate view over the
+// run's span tree (see Options.Profile). New code should prefer WithTrace,
+// which exposes the same spans unaggregated.
 type Profile = core.Profile
 
 // Kind identifies a column's physical type.
@@ -118,7 +120,9 @@ const (
 )
 
 // Options tunes execution; the zero value uses the paper's defaults
-// (f = k = 32 merge sort trees, 20 000-row tasks).
+// (f = k = 32 merge sort trees, 20 000-row tasks). The functional options
+// (WithTrace, WithCache, WithEngine, ...) build the same struct — see
+// NewOptions and RunWith.
 type Options = core.Options
 
 // TreeOptions configures merge sort tree construction (fanout f, pointer

@@ -55,7 +55,7 @@ func BenchmarkEvalMSTCount(b *testing.B) {
 	p, fc := benchPartition(b, n, f)
 	var opt Options
 	fl := newFiltered(p, &p.w.Funcs[0], f.Arg, opt)
-	prev, next := buildDistinctInputs(fl, &p.w.Funcs[0], opt, nil)
+	prev, next := buildDistinctInputs(fl, &p.w.Funcs[0], opt)
 	tree, err := mst.Build(prev, opt.Tree)
 	if err != nil {
 		b.Fatal(err)

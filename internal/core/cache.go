@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"holistic/internal/mst"
+	"holistic/internal/obs"
 	"holistic/internal/rangetree"
 )
 
@@ -44,6 +45,15 @@ func (o Options) ctxErr() error {
 	return o.Context.Err()
 }
 
+// treeOptions returns the run's tree options with the given build-phase
+// span threaded through, so mst's construction attaches its per-level
+// merge spans beneath the "build merge sort tree" phase.
+func (o Options) treeOptions(sp *obs.Span) mst.Options {
+	topt := o.Tree
+	topt.Trace = sp
+	return topt
+}
+
 // cacheGet fetches key from the options' cache, building on a miss. With
 // caching inactive it simply builds. A value of an unexpected type under
 // the key (a collision between incompatible structure kinds, which the key
@@ -54,7 +64,16 @@ func cacheGet[T any](opt Options, key string, build func() (T, int64, error)) (T
 		v, _, err := build()
 		return v, err
 	}
+	// Annotate the current span with the cache interaction: "reuse" unless
+	// the build closure actually ran. The slow-query log surfaces these
+	// attributes, so a cold-cache outlier is distinguishable from a slow
+	// probe at a glance.
+	if sp := opt.trace; sp != nil {
+		sp.Set("cache_key", key)
+		sp.Set("cache", "reuse")
+	}
 	got, err := opt.Cache.GetOrBuild(opt.CacheScope+"|"+key, func() (any, int64, error) {
+		opt.trace.Set("cache", "build")
 		v, bytes, err := build()
 		if err != nil {
 			return nil, 0, err

@@ -81,14 +81,14 @@ func (fl *filtered) frameRanges(fc *frame.Computer, row int, scratch, out [][2]i
 }
 
 // evalMST dispatches a function to its merge-sort-tree evaluation.
-func evalMST(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, opt Options, prof *Profile) error {
+func evalMST(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, opt Options) error {
 	switch f.Name {
 	case CountStar, Count:
 		return evalCounts(p, f, fc, out, opt)
 	case Sum, Avg, Min, Max:
 		return evalDistributive(p, f, fc, out, opt)
 	case CountDistinct, SumDistinct, AvgDistinct:
-		return evalDistinct(p, f, fc, out, opt, prof)
+		return evalDistinct(p, f, fc, out, opt)
 	case Rank, PercentRank, RowNumber, CumeDist, Ntile:
 		return evalRankFamily(p, f, fc, out, opt)
 	case DenseRank:
@@ -124,9 +124,9 @@ func evalCounts(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, 
 // buildDistinctInputs sorts the filtered rows by the argument column and
 // derives Algorithm 1's prevIdcs plus the forward links used by the
 // exclusion-hole correction. next[j] is the next occurrence of j's value in
-// the filtered domain, with fl.k as the "none" sentinel. The two stages
-// are profiled separately, matching Figure 14's phase split.
-func buildDistinctInputs(fl *filtered, f *FuncSpec, opt Options, prof *Profile) (prev, next []int64) {
+// the filtered domain, with fl.k as the "none" sentinel. The stages run
+// under separate phase spans, matching Figure 14's phase split.
+func buildDistinctInputs(fl *filtered, f *FuncSpec, opt Options) (prev, next []int64) {
 	cmpArg := fl.p.argCompare(f)
 	eqArg := fl.p.argEqual(f)
 	// Sort primarily by value hashes so the hot comparisons are integer
@@ -137,14 +137,14 @@ func buildDistinctInputs(fl *filtered, f *FuncSpec, opt Options, prof *Profile) 
 	// must be allocated fresh.
 	col := fl.p.t.Column(f.Arg)
 	var hashes []uint64
-	prof.timed("preprocess: populate hashes", func() {
+	opt.trace.Timed("preprocess: populate hashes", func() {
 		hashes = opt.getUint64s(fl.k)
 		for j := range hashes {
 			hashes[j] = col.hashAt(fl.orig(j))
 		}
 	})
 	var sorted []int32
-	prof.timed("preprocess: sort hashes", func() {
+	opt.trace.Timed("preprocess: sort hashes", func() {
 		sorted = preprocess.SortIndicesIn(opt.getInt32s(fl.k), fl.k, func(a, b int) int {
 			ha, hb := hashes[a], hashes[b]
 			if ha != hb {
@@ -157,7 +157,7 @@ func buildDistinctInputs(fl *filtered, f *FuncSpec, opt Options, prof *Profile) 
 		})
 	})
 	same := func(a, b int) bool { return eqArg(fl.local(a), fl.local(b)) }
-	prof.timed("preprocess: prevIdcs", func() {
+	opt.trace.Timed("preprocess: prevIdcs", func() {
 		prev = preprocess.PrevIndices(sorted, same)
 		next = make([]int64, fl.k)
 		for j := range next {
@@ -227,19 +227,17 @@ func forEachFullyExcluded(prev, next []int64, ranges [][2]int, visit func(h int)
 // sort tree of §4.2/§4.3. The preprocessed occurrence arrays and the tree
 // are cache-shared across queries: they depend only on the argument column,
 // the filter and the tree options, never on the frame.
-func evalDistinct(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, opt Options, prof *Profile) error {
+func evalDistinct(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder, opt Options) error {
 	fl := newFiltered(p, f, f.Arg, opt)
 
 	switch f.Name {
 	case CountDistinct:
 		key := p.cacheKey("distinct-count", strconv.Quote(f.Arg), strconv.Quote(f.Filter), treeSig(opt.Tree))
 		st, err := cacheGet(opt, key, func() (cachedDistinct, int64, error) {
-			prev, next := buildDistinctInputs(fl, f, opt, prof)
-			var tree *mst.Tree
-			var buildErr error
-			prof.timed("build merge sort tree", func() {
-				tree, buildErr = mst.Build(prev, opt.Tree)
-			})
+			prev, next := buildDistinctInputs(fl, f, opt)
+			sp := opt.trace.Phase("build merge sort tree")
+			tree, buildErr := mst.Build(prev, opt.treeOptions(sp))
+			sp.End()
 			if buildErr != nil {
 				return cachedDistinct{}, 0, buildErr
 			}
@@ -249,17 +247,13 @@ func evalDistinct(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder
 		if err != nil {
 			return err
 		}
-		var probeErr error
-		prof.timed("probe", func() {
-			probeErr = forEachRow(p, opt, func(lo, hi int) {
-				var scratch, mapped [3][2]int
-				for i := lo; i < hi; i++ {
-					ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
-					out.setInt(p.orig(i), int64(distinctCount(st.tree, st.prev, st.next, ranges)))
-				}
-			})
+		return forEachRow(p, opt, func(lo, hi int) {
+			var scratch, mapped [3][2]int
+			for i := lo; i < hi; i++ {
+				ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
+				out.setInt(p.orig(i), int64(distinctCount(st.tree, st.prev, st.next, ranges)))
+			}
 		})
-		return probeErr
 
 	case SumDistinct:
 		if out.kind == Int64 {
@@ -315,12 +309,14 @@ func runSumDistinct[S any](p *partition, f *FuncSpec, fc *frame.Computer, out *o
 	valueOf func(j int) S, add func(a, b S) S, sub func(a, b S) S, emit func(row int, v S)) error {
 	key := p.cacheKey("distinct-agg", f.Name.String(), kind, strconv.Quote(f.Arg), strconv.Quote(f.Filter), treeSig(opt.Tree))
 	st, err := cacheGet(opt, key, func() (cachedAgg[S], int64, error) {
-		prev, next := buildDistinctInputs(fl, f, opt, opt.Profile)
+		prev, next := buildDistinctInputs(fl, f, opt)
 		values := make([]S, fl.k)
 		for j := range values {
 			values[j] = valueOf(j)
 		}
-		tree, buildErr := mst.BuildAnnotated(prev, values, add, opt.Tree)
+		sp := opt.trace.Phase("build merge sort tree")
+		tree, buildErr := mst.BuildAnnotated(prev, values, add, opt.treeOptions(sp))
+		sp.End()
 		if buildErr != nil {
 			return cachedAgg[S]{}, 0, buildErr
 		}
@@ -400,7 +396,9 @@ func evalRankFamily(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuild
 			for j := range keysKept {
 				keysKept[j] = keysAll[fl.local(j)]
 			}
-			tree, buildErr := mst.Build(keysKept, opt.Tree)
+			sp := opt.trace.Phase("build merge sort tree")
+			tree, buildErr := mst.Build(keysKept, opt.treeOptions(sp))
+			sp.End()
 			opt.putInt64s(keysKept)
 			if buildErr != nil {
 				return cachedRank{}, 0, buildErr
@@ -510,7 +508,9 @@ func evalDenseRank(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilde
 				}
 			}
 			opt.putInt32s(sortedKept)
-			rt, buildErr := rangetree.New(ranksKept, prevKept, opt.Tree)
+			sp := opt.trace.Phase("build merge sort tree")
+			rt, buildErr := rangetree.New(ranksKept, prevKept, opt.treeOptions(sp))
+			sp.End()
 			if buildErr != nil {
 				return cachedDense{}, 0, buildErr
 			}
@@ -565,7 +565,9 @@ func evalSelectFamily(p *partition, f *FuncSpec, fc *frame.Computer, out *outBui
 			// Both arrays are pure temporaries: Build copies the permutation.
 			sortedKept := keptOrder(fl, p.sortedByFuncOrder(f), opt.getInt32s(fl.k))
 			perm := preprocess.PermutationIn(opt.getInt64s(fl.k), sortedKept)
-			tree, buildErr := mst.Build(perm, opt.Tree)
+			sp := opt.trace.Phase("build merge sort tree")
+			tree, buildErr := mst.Build(perm, opt.treeOptions(sp))
+			sp.End()
 			opt.putInt64s(perm)
 			opt.putInt32s(sortedKept)
 			if buildErr != nil {
@@ -689,7 +691,9 @@ func evalLeadLag(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder,
 			}
 			sortedKept := keptOrder(fl, sortedAll, opt.getInt32s(fl.k))
 			perm := preprocess.PermutationIn(opt.getInt64s(fl.k), sortedKept)
-			tree, buildErr := mst.Build(perm, opt.Tree)
+			sp := opt.trace.Phase("build merge sort tree")
+			tree, buildErr := mst.Build(perm, opt.treeOptions(sp))
+			sp.End()
 			opt.putInt64s(perm)
 			opt.putInt32s(sortedKept)
 			if buildErr != nil {

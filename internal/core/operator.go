@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"holistic/internal/mst"
+	"holistic/internal/obs"
 	"holistic/internal/parallel"
 	"holistic/internal/preprocess"
 )
@@ -17,8 +18,29 @@ type Options struct {
 	// TaskSize is the parallel task granularity in rows (default 20 000,
 	// the Hyper task size the paper uses, §5.5).
 	TaskSize int
-	// Profile, when non-nil, receives per-phase timings (Figure 14).
+	// Profile, when non-nil, receives per-phase timings (Figure 14): the
+	// run's root span is attached to it and its accessors aggregate the
+	// phase spans. New callers that want the full tree should prefer Trace
+	// (or holistic.WithTrace), which exposes the same spans unaggregated.
 	Profile *Profile
+	// Trace, when non-nil, is the span the run records itself under: one
+	// child span per phase, per (partition, function) evaluation and per
+	// parallel worker, with cache keys and row counts as attributes. The
+	// caller owns the span and ends it; Run only attaches children. A nil
+	// Trace disables tracing at zero allocation cost on the probe path.
+	Trace *obs.Span
+	// DefaultEngine substitutes the evaluation engine for every function
+	// whose Engine field was left at the zero value. The zero value *is*
+	// the merge sort tree, so setting DefaultEngine to
+	// EngineMergeSortTree (or leaving it zero) changes nothing, and
+	// per-function competitor engine choices always win over the default.
+	DefaultEngine Engine
+	// Workers, when > 0, caps the number of parallel workers used by this
+	// run's context-aware loops, below the process-wide limit
+	// (parallel.SetMaxWorkers). The cap travels in the run's context, so
+	// it applies to the sort, build and probe loops but never leaks into
+	// concurrent runs.
+	Workers int
 	// Context, when non-nil, cancels the evaluation cooperatively: the
 	// operator checks it between phases and between parallel task chunks,
 	// so a cancelled caller stops burning cores after at most one chunk
@@ -35,6 +57,11 @@ type Options struct {
 	// against the previous version. With an empty scope the cache is
 	// bypassed.
 	CacheScope string
+	// trace is the span the current piece of work records under: Run
+	// points it at the root, evalFunc at the per-evaluation span. It is
+	// threaded through the value-copied Options so concurrent evaluations
+	// never share a current-span variable.
+	trace *obs.Span
 	// NoPool opts out of the pooled scratch buffers the evaluation engines
 	// borrow for preprocessing temporaries (hash arrays, sorted index
 	// buffers, permutations, inclusion masks); every temporary is then
@@ -63,8 +90,23 @@ func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
 	if err := w.validate(t); err != nil {
 		return nil, err
 	}
-	prof := opt.Profile
+	// The root span: a caller-provided Options.Trace, or — when only the
+	// aggregate Profile view was requested — a run-owned root that is
+	// ended here. Both Trace and Profile observe the same tree.
+	root := opt.Trace
+	ownRoot := root == nil && opt.Profile != nil
+	if ownRoot {
+		root = obs.NewSpan("run")
+		defer root.End()
+	}
+	opt.Profile.attach(root)
+	opt.trace = root
 	n := t.Rows()
+	root.SetInt("rows", int64(n))
+	root.SetInt("functions", int64(len(w.Funcs)))
+	if opt.Workers > 0 {
+		opt.Context = parallel.ContextWithLimit(opt.Context, opt.Workers)
+	}
 	if err := opt.ctxErr(); err != nil {
 		return nil, err
 	}
@@ -73,16 +115,15 @@ func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
 	// and with a cache also across queries: any query whose window agrees
 	// on partitioning and ordering reuses the order (the shared-sort
 	// observation of Cao et al., lifted to the request level).
-	var sortIdx []int32
-	var sortErr error
-	prof.timed("partition+order sort", func() {
-		var cs cachedSort
-		cs, sortErr = cacheGet(opt, "sortidx|"+windowSig(w), func() (cachedSort, int64, error) {
-			idx := preprocess.SortIndices(n, windowComparator(t, w))
-			return cachedSort{idx: idx}, int64(4 * len(idx)), nil
-		})
-		sortIdx = cs.idx
+	sortSpan := root.Phase("partition+order sort")
+	sortOpt := opt
+	sortOpt.trace = sortSpan
+	cs, sortErr := cacheGet(sortOpt, "sortidx|"+windowSig(w), func() (cachedSort, int64, error) {
+		idx := preprocess.SortIndices(n, windowComparator(t, w))
+		return cachedSort{idx: idx}, int64(4 * len(idx)), nil
 	})
+	sortSpan.End()
+	sortIdx := cs.idx
 	if sortErr != nil {
 		return nil, sortErr
 	}
@@ -92,7 +133,7 @@ func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
 
 	// Phase 2: find partition boundaries.
 	var parts []*partition
-	prof.timed("partition boundaries", func() {
+	root.Timed("partition boundaries", func() {
 		parts = splitPartitions(t, w, sortIdx)
 	})
 	if err := opt.ctxErr(); err != nil {
@@ -124,7 +165,7 @@ func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
 		p := parts[pi]
 		for fi := range w.Funcs {
 			f := &w.Funcs[fi]
-			if err := evalFunc(p, f, outs[fi], opt, prof); err != nil {
+			if err := evalFunc(p, f, outs[fi], opt); err != nil {
 				setErr(fmt.Errorf("%v (%s): %w", f.Name, f.Output, err))
 				return
 			}
@@ -238,30 +279,50 @@ func percentileValueColumn(f *FuncSpec) string {
 }
 
 // evalFunc evaluates one function over one partition with the selected
-// engine.
-func evalFunc(p *partition, f *FuncSpec, out *outBuilder, opt Options, prof *Profile) error {
+// engine, under a structural "eval" span carrying the function, engine,
+// partition ordinal and row count.
+func evalFunc(p *partition, f *FuncSpec, out *outBuilder, opt Options) error {
+	eng := f.Engine
+	if eng == EngineMergeSortTree {
+		eng = opt.DefaultEngine // zero value: still the merge sort tree
+	}
+	if sp := opt.trace.Child("eval"); sp != nil {
+		defer sp.End()
+		sp.Set("function", f.Name.String())
+		sp.Set("engine", eng.String())
+		sp.SetInt("partition", int64(p.ord))
+		sp.SetInt("rows", int64(p.len()))
+		opt.trace = sp
+	}
 	spec := p.w.effectiveFrame(f)
 	fc, err := p.frameComputer(spec)
 	if err != nil {
 		return err
 	}
-	switch f.Engine {
+	switch eng {
 	case EngineMergeSortTree:
-		return evalMST(p, f, fc, out, opt, prof)
+		return evalMST(p, f, fc, out, opt)
 	case EngineNaive, EngineIncremental, EngineOSTree:
 		return evalCompetitor(p, f, fc, out, opt)
 	case EngineSegmentTree:
 		return evalSegTree(p, f, fc, out, opt)
 	}
-	return fmt.Errorf("unknown engine %v", f.Engine)
+	return fmt.Errorf("unknown engine %v", eng)
 }
 
 // forEachRow runs body over all partition rows in parallel tasks; body is
 // subject to the same disjointness contract as parallel.For bodies. The
 // options context cancels the loop between chunks; the context's error is
-// returned when the loop was cut short.
+// returned when the loop was cut short. The loop runs under a "probe"
+// phase span carried in the context, so parallel workers attach their
+// per-worker spans beneath it.
 //
 //lint:parallel-entry
 func forEachRow(p *partition, opt Options, body func(lo, hi int)) error {
-	return parallel.ForContext(opt.Context, p.len(), opt.taskSize(), body)
+	ctx := opt.Context
+	if sp := opt.trace.Phase("probe"); sp != nil {
+		defer sp.End()
+		ctx = obs.ContextWith(ctx, sp)
+	}
+	return parallel.ForContext(ctx, p.len(), opt.taskSize(), body)
 }

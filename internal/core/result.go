@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"holistic/internal/obs"
 )
 
 // Result holds the window functions' output columns, in the original row
@@ -19,43 +21,35 @@ func (r *Result) Column(name string) *Column { return r.table.Column(name) }
 func (r *Result) Table() *Table { return r.table }
 
 // Profile records how long each execution phase took — the instrumentation
-// behind Figure 14's cost breakdown. Phases from per-partition work are
-// accumulated across partitions and functions.
+// behind Figure 14's cost breakdown. It is a view over the trace: each Run
+// with a non-nil Options.Profile attaches its root span here, and the
+// accessors aggregate the phase-marked spans by name (obs.Span.PhaseTotals),
+// so per-partition and per-function work accumulates exactly as before.
+// Runs that also set Options.Trace share one span tree between the trace
+// and the profile.
 type Profile struct {
-	mu     sync.Mutex
-	order  []string
-	totals map[string]time.Duration
+	mu    sync.Mutex
+	roots []*obs.Span
 }
 
-func newProfile() *Profile {
-	return &Profile{totals: make(map[string]time.Duration)}
-}
-
-// add accumulates a duration under a phase name.
-func (p *Profile) add(name string, d time.Duration) {
-	if p == nil {
+// attach adds a run's root span to the profile's view.
+func (p *Profile) attach(root *obs.Span) {
+	if p == nil || root == nil {
 		return
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.totals == nil {
-		p.totals = make(map[string]time.Duration)
-	}
-	if _, ok := p.totals[name]; !ok {
-		p.order = append(p.order, name)
-	}
-	p.totals[name] += d
+	p.roots = append(p.roots, root)
+	p.mu.Unlock()
 }
 
-// timed runs fn and accumulates its wall time under name.
-func (p *Profile) timed(name string, fn func()) {
+// Spans returns the root spans of the runs recorded so far, in run order.
+func (p *Profile) Spans() []*obs.Span {
 	if p == nil {
-		fn()
-		return
+		return nil
 	}
-	start := time.Now()
-	fn()
-	p.add(name, time.Since(start))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*obs.Span(nil), p.roots...)
 }
 
 // Phase is one named phase and its accumulated duration.
@@ -64,16 +58,22 @@ type Phase struct {
 	Duration time.Duration
 }
 
-// Phases returns the recorded phases in first-seen order.
+// Phases returns the recorded phases in first-seen order, accumulated
+// across all recorded runs.
 func (p *Profile) Phases() []Phase {
-	if p == nil {
-		return nil
+	var order []string
+	totals := make(map[string]time.Duration)
+	for _, root := range p.Spans() {
+		for _, pt := range root.PhaseTotals() {
+			if _, ok := totals[pt.Name]; !ok {
+				order = append(order, pt.Name)
+			}
+			totals[pt.Name] += pt.Total
+		}
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]Phase, len(p.order))
-	for i, n := range p.order {
-		out[i] = Phase{Name: n, Duration: p.totals[n]}
+	out := make([]Phase, len(order))
+	for i, n := range order {
+		out[i] = Phase{Name: n, Duration: totals[n]}
 	}
 	return out
 }

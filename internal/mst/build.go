@@ -8,6 +8,10 @@ import (
 	"holistic/internal/parallel"
 )
 
+// Level spans: buildTree opens one "mst: merge level" span per level under
+// Options.Trace (package obs), annotated with the level number and run
+// count, so a trace shows where construction time goes as the runs grow.
+
 // buildTree constructs the tree levels bottom-up (§4.2): level l is produced
 // by f-way merges of the runs of level l-1. The merge keeps, every k
 // outputs, a snapshot of how many elements it has consumed from each child
@@ -91,6 +95,10 @@ func buildTree[P payload](base []P, opt Options) *tree[P] {
 		t.samples = append(t.samples, samples)
 		t.stride = append(t.stride, stride)
 
+		lsp := opt.Trace.Child("mst: merge level")
+		lsp.SetInt("level", int64(level))
+		lsp.SetInt("runs", int64(numRuns))
+
 		workers := parallel.Workers()
 		if opt.Serial || numRuns >= workers || workers == 1 {
 			if opt.Serial {
@@ -119,6 +127,7 @@ func buildTree[P payload](base []P, opt Options) *tree[P] {
 				t.mergeRunParallel(level, r, samples, stride, workers, opt.NoArena)
 			}
 		}
+		lsp.End()
 		if rl >= n {
 			break
 		}

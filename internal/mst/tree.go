@@ -32,6 +32,8 @@ package mst
 import (
 	"fmt"
 	"math"
+
+	"holistic/internal/obs"
 )
 
 // DefaultFanout is the tree fanout f chosen by the paper's parameter study
@@ -67,6 +69,10 @@ type Options struct {
 	// the flag exists for allocation-behavior comparisons and as an escape
 	// hatch should the substrate misbehave.
 	NoArena bool
+	// Trace, when non-nil, receives one child span per merge level during
+	// construction. It never influences the built structure, so it is
+	// excluded from structural signatures and not persisted by Serialize.
+	Trace *obs.Span
 }
 
 func (o Options) withDefaults() Options {

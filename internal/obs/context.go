@@ -1,0 +1,25 @@
+package obs
+
+import "context"
+
+// spanKey is the context key spans travel under.
+type spanKey struct{}
+
+// ContextWith returns a context carrying the span. Parallel loops pick the
+// span up with FromContext to attach per-worker child spans.
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, tolerating a nil context.
+// It returns nil — the disabled span — when none is present.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseText is a strict parser for the Prometheus text exposition format
+// subset WriteText emits. It exists so the metrics tests can round-trip a
+// scrape — every line must parse, every series must belong to a declared
+// family — instead of grepping for substrings.
+
+// ParsedMetrics is the result of parsing one exposition payload.
+type ParsedMetrics struct {
+	// Types maps family name to its declared type (counter, gauge,
+	// histogram).
+	Types map[string]string
+	// Help maps family name to its HELP text.
+	Help map[string]string
+	// Samples maps the full series identity — name plus sorted label
+	// pairs, e.g. `windowd_requests_total{code="200",route="POST /v1/query"}`
+	// — to its value.
+	Samples map[string]float64
+}
+
+// Value returns the sample for name with the given label pairs
+// ("key=value"), and whether it exists. Labels may be given in any order.
+func (p *ParsedMetrics) Value(name string, labels ...string) (float64, bool) {
+	kv := make(map[string]string, len(labels))
+	for _, l := range labels {
+		k, v, ok := strings.Cut(l, "=")
+		if !ok {
+			return 0, false
+		}
+		kv[k] = v
+	}
+	v, ok := p.Samples[seriesID(name, kv)]
+	return v, ok
+}
+
+// seriesID renders the canonical series identity: name{k="v",...} with keys
+// sorted.
+func seriesID(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sortStrings is an insertion sort; label sets are tiny and this keeps the
+// parser free of package-level sort noise in profiles.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ParseText parses a text exposition payload, validating that every sample
+// line belongs to a family declared by a preceding # TYPE line (histogram
+// samples may use the _bucket/_sum/_count suffixes of their family).
+func ParseText(data string) (*ParsedMetrics, error) {
+	p := &ParsedMetrics{
+		Types:   map[string]string{},
+		Help:    map[string]string{},
+		Samples: map[string]float64{},
+	}
+	for i, line := range strings.Split(data, "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := p.parseComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := p.parseSample(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	return p, nil
+}
+
+func (p *ParsedMetrics) parseComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		help := ""
+		if len(fields) == 4 {
+			help = fields[3]
+		}
+		p.Help[fields[2]] = help
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		if _, dup := p.Types[fields[2]]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", fields[2])
+		}
+		p.Types[fields[2]] = fields[3]
+	}
+	return nil
+}
+
+func (p *ParsedMetrics) parseSample(line string) error {
+	name, rest, err := scanName(line)
+	if err != nil {
+		return err
+	}
+	labels := map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		rest, err = scanLabels(rest, labels)
+		if err != nil {
+			return err
+		}
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	// An optional timestamp may follow the value; WriteText never emits
+	// one, but accept it for forward compatibility.
+	valueField, _, _ := strings.Cut(rest, " ")
+	v, err := parseValue(valueField)
+	if err != nil {
+		return fmt.Errorf("bad value %q: %w", valueField, err)
+	}
+	if err := p.checkFamily(name); err != nil {
+		return err
+	}
+	id := seriesID(name, labels)
+	if _, dup := p.Samples[id]; dup {
+		return fmt.Errorf("duplicate series %s", id)
+	}
+	p.Samples[id] = v
+	return nil
+}
+
+// checkFamily verifies the sample belongs to a declared family, resolving
+// histogram suffixes against a declared histogram type.
+func (p *ParsedMetrics) checkFamily(name string) error {
+	if _, ok := p.Types[name]; ok {
+		return nil
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, found := strings.CutSuffix(name, suffix)
+		if found && p.Types[base] == "histogram" {
+			return nil
+		}
+	}
+	return fmt.Errorf("series %q has no preceding # TYPE declaration", name)
+}
+
+func scanName(line string) (name, rest string, err error) {
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return "", "", fmt.Errorf("malformed sample line %q", line)
+	}
+	return line[:i], line[i:], nil
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+// scanLabels parses a {k="v",...} block, storing unescaped values.
+func scanLabels(s string, out map[string]string) (rest string, err error) {
+	s = s[1:] // consume '{'
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			return s[1:], nil
+		}
+		i := 0
+		for i < len(s) && isNameChar(s[i], i == 0) {
+			i++
+		}
+		if i == 0 {
+			return "", fmt.Errorf("malformed label name at %q", s)
+		}
+		key := s[:i]
+		s = s[i:]
+		if !strings.HasPrefix(s, `="`) {
+			return "", fmt.Errorf(`expected ="..." after label %q`, key)
+		}
+		s = s[2:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return "", fmt.Errorf("unterminated label value for %q", key)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if s == "" {
+					return "", fmt.Errorf("dangling escape in label %q", key)
+				}
+				e := s[0]
+				s = s[1:]
+				switch e {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(e)
+				default:
+					return "", fmt.Errorf("bad escape \\%c in label %q", e, key)
+				}
+				continue
+			}
+			val.WriteByte(c)
+		}
+		if _, dup := out[key]; dup {
+			return "", fmt.Errorf("duplicate label %q", key)
+		}
+		out[key] = val.String()
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		}
+	}
+}
+
+// parseValue parses a sample value; strconv.ParseFloat accepts the +Inf
+// and -Inf spellings the exposition format uses.
+func parseValue(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}

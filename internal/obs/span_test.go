@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanIsDisabled(t *testing.T) {
+	var s *Span
+	if c := s.Child("x"); c != nil {
+		t.Fatalf("nil.Child = %v, want nil", c)
+	}
+	if c := s.Phase("x"); c != nil {
+		t.Fatalf("nil.Phase = %v, want nil", c)
+	}
+	ran := false
+	s.Timed("x", func() { ran = true })
+	if !ran {
+		t.Fatal("Timed on nil span did not run fn")
+	}
+	s.End()
+	s.Set("k", "v")
+	s.SetInt("k", 1)
+	if s.Name() != "" || s.IsPhase() || s.Ended() || s.Duration() != 0 || s.Attr("k") != "" {
+		t.Fatal("nil span accessors not zero")
+	}
+	if s.Attrs() != nil || s.Children() != nil || s.PhaseTotals() != nil {
+		t.Fatal("nil span slices not nil")
+	}
+	s.Walk(func(*Span, int) { t.Fatal("Walk visited nil span") })
+	if s.Render() != "" {
+		t.Fatal("nil span Render not empty")
+	}
+}
+
+func TestNilSpanZeroAlloc(t *testing.T) {
+	var s *Span
+	fn := func() {}
+	allocs := testing.AllocsPerRun(100, func() {
+		c := s.Child("child")
+		c.Set("k", "v")
+		c.SetInt("n", 7)
+		c.End()
+		s.Timed("phase", fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("run")
+	root.SetInt("rows", 100)
+	a := root.Phase("sort")
+	time.Sleep(time.Millisecond)
+	a.End()
+	b := root.Child("eval")
+	b.Set("engine", "mst")
+	p := b.Phase("probe")
+	p.End()
+	b.End()
+	root.End()
+
+	if !root.Ended() {
+		t.Fatal("root not ended")
+	}
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "sort" || kids[1].Name() != "eval" {
+		t.Fatalf("children = %v", kids)
+	}
+	if !kids[0].IsPhase() || kids[1].IsPhase() {
+		t.Fatal("phase marking wrong")
+	}
+	if got := b.Attr("engine"); got != "mst" {
+		t.Fatalf("Attr(engine) = %q", got)
+	}
+	if root.Duration() < a.Duration() {
+		t.Fatalf("root %v shorter than child %v", root.Duration(), a.Duration())
+	}
+	// End is idempotent: duration is fixed by the first call.
+	d := root.Duration()
+	time.Sleep(time.Millisecond)
+	root.End()
+	if root.Duration() != d {
+		t.Fatal("second End changed duration")
+	}
+}
+
+func TestPhaseTotalsAggregates(t *testing.T) {
+	root := NewSpan("run")
+	for i := 0; i < 3; i++ {
+		eval := root.Child("eval") // structural: must not appear in totals
+		eval.Timed("probe", func() { time.Sleep(time.Millisecond) })
+		eval.End()
+	}
+	root.Timed("sort", func() {})
+	root.End()
+
+	totals := root.PhaseTotals()
+	if len(totals) != 2 {
+		t.Fatalf("totals = %+v, want probe+sort", totals)
+	}
+	if totals[0].Name != "probe" || totals[1].Name != "sort" {
+		t.Fatalf("order = %+v", totals)
+	}
+	if totals[0].Total < 3*time.Millisecond {
+		t.Fatalf("probe total %v, want >= 3ms", totals[0].Total)
+	}
+}
+
+func TestSpanSetReplaces(t *testing.T) {
+	s := NewSpan("x")
+	s.Set("k", "a")
+	s.Set("k", "b")
+	if got := s.Attrs(); len(got) != 1 || got[0].Value != "b" {
+		t.Fatalf("attrs = %v", got)
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewSpan("run")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c := root.Child("worker")
+				c.SetInt("chunk", int64(j))
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Children()); got != 800 {
+		t.Fatalf("children = %d, want 800", got)
+	}
+}
+
+func TestRender(t *testing.T) {
+	root := NewSpan("run")
+	c := root.Phase("sort")
+	c.Set("rows", "5")
+	c.End()
+	root.Child("open") // left unfinished deliberately
+	root.End()
+	out := root.Render()
+	if !strings.HasPrefix(out, "run ") {
+		t.Fatalf("render = %q", out)
+	}
+	if !strings.Contains(out, "\n  sort ") || !strings.Contains(out, "rows=5") {
+		t.Fatalf("render missing child line: %q", out)
+	}
+	if !strings.Contains(out, "open") || !strings.Contains(out, "(unfinished)") {
+		t.Fatalf("render missing unfinished marker: %q", out)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("empty ctx span = %v", got)
+	}
+	var nilCtx context.Context
+	if got := FromContext(nilCtx); got != nil {
+		t.Fatalf("nil ctx span = %v", got)
+	}
+	s := NewSpan("x")
+	ctx := ContextWith(context.Background(), s)
+	if got := FromContext(ctx); got != s {
+		t.Fatalf("FromContext = %v, want %v", got, s)
+	}
+	if ctx := ContextWith(nilCtx, s); FromContext(ctx) != s {
+		t.Fatal("ContextWith(nil, s) lost span")
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"holistic/internal/obs"
 )
 
 // DefaultTaskSize is the number of tuples per task. Hyper cuts tasks of
@@ -44,6 +46,34 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// limitKey carries a per-context worker cap (see ContextWithLimit).
+type limitKey struct{}
+
+// ContextWithLimit returns a context that caps the number of workers the
+// context-aware loops (ForContext, ForEachContext) use, below the
+// process-wide Workers() limit. Unlike SetMaxWorkers the cap is scoped to
+// work done under this context, so one capped request cannot starve — or
+// be widened by — its neighbours. A nil ctx starts from context.Background;
+// n <= 0 removes a cap set further up.
+func ContextWithLimit(ctx context.Context, n int) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, limitKey{}, n)
+}
+
+// ctxWorkers is Workers() clamped by ctx's cap, if any.
+func ctxWorkers(ctx context.Context) int {
+	workers := Workers()
+	if ctx == nil {
+		return workers
+	}
+	if lim, ok := ctx.Value(limitKey{}).(int); ok && lim > 0 && lim < workers {
+		return lim
+	}
+	return workers
+}
+
 // For splits [0, n) into chunks of at most taskSize elements and invokes
 // body(lo, hi) for each chunk, using up to Workers() goroutines. It returns
 // once every chunk completed. taskSize <= 0 selects DefaultTaskSize.
@@ -59,6 +89,11 @@ func For(n, taskSize int, body func(lo, hi int)) {
 // Chunks already started always run to completion — body never observes a
 // half-processed range. ForContext returns ctx.Err() if the loop was cut
 // short, nil if every chunk ran. A nil ctx disables cancellation.
+//
+// A span carried by ctx (obs.ContextWith) receives one "worker" child per
+// worker goroutine — or one for the whole loop on the serial path —
+// annotated with the number of chunks that worker drained. Without a span
+// the loop allocates nothing for tracing.
 func ForContext(ctx context.Context, n, taskSize int, body func(lo, hi int)) error {
 	if n <= 0 {
 		return nil
@@ -67,13 +102,17 @@ func ForContext(ctx context.Context, n, taskSize int, body func(lo, hi int)) err
 		taskSize = DefaultTaskSize
 	}
 	tasks := (n + taskSize - 1) / taskSize
-	workers := Workers()
+	workers := ctxWorkers(ctx)
 	if workers > tasks {
 		workers = tasks
 	}
+	parent := obs.FromContext(ctx)
 	if workers <= 1 {
+		sp := parent.Child("worker")
+		chunks := 0
 		for lo := 0; lo < n; lo += taskSize {
 			if err := ctxErr(ctx); err != nil {
+				finishWorker(sp, chunks)
 				return err
 			}
 			hi := lo + taskSize
@@ -81,7 +120,9 @@ func ForContext(ctx context.Context, n, taskSize int, body func(lo, hi int)) err
 				hi = n
 			}
 			body(lo, hi)
+			chunks++
 		}
+		finishWorker(sp, chunks)
 		return nil
 	}
 	var next atomic.Int64
@@ -90,10 +131,12 @@ func ForContext(ctx context.Context, n, taskSize int, body func(lo, hi int)) err
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			sp := parent.Child("worker")
+			chunks := 0
 			for ctxErr(ctx) == nil {
 				t := int(next.Add(1)) - 1
 				if t >= tasks {
-					return
+					break
 				}
 				lo := t * taskSize
 				hi := lo + taskSize
@@ -101,11 +144,19 @@ func ForContext(ctx context.Context, n, taskSize int, body func(lo, hi int)) err
 					hi = n
 				}
 				body(lo, hi)
+				chunks++
 			}
+			finishWorker(sp, chunks)
 		}()
 	}
 	wg.Wait()
 	return ctxErr(ctx)
+}
+
+// finishWorker stamps and ends a worker span; a nil span costs nothing.
+func finishWorker(sp *obs.Span, chunks int) {
+	sp.SetInt("chunks", int64(chunks))
+	sp.End()
 }
 
 // ForEach invokes body(i) for every task index i in [0, tasks) using up to
@@ -124,7 +175,7 @@ func ForEachContext(ctx context.Context, tasks int, body func(task int)) error {
 	if tasks <= 0 {
 		return nil
 	}
-	workers := Workers()
+	workers := ctxWorkers(ctx)
 	if workers > tasks {
 		workers = tasks
 	}

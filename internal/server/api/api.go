@@ -2,6 +2,12 @@
 // small client speaking them. The server handlers, the windowcli -server
 // mode and the server tests all share these definitions, so requests are
 // encoded exactly one way.
+//
+// The HTTP surface is versioned under /v1: /v1/query, /v1/explain,
+// /v1/datasets, /v1/healthz and /v1/metrics. The pre-versioning unversioned
+// paths remain as aliases that answer identically while emitting a
+// Deprecation header; the client speaks /v1 exclusively. Every non-2xx
+// response carries the ErrorResponse envelope with a stable machine code.
 package api
 
 import (
@@ -13,6 +19,40 @@ import (
 	"net/http"
 )
 
+// API paths (version 1). Legacy aliases strip the /v1 prefix.
+const (
+	PathQuery    = "/v1/query"
+	PathExplain  = "/v1/explain"
+	PathDatasets = "/v1/datasets"
+	PathHealthz  = "/v1/healthz"
+	PathMetrics  = "/v1/metrics"
+)
+
+// ErrorCode is a stable machine-readable error classification, carried in
+// every non-2xx response. Codes are coarser than messages: clients branch
+// on the code and show the message.
+type ErrorCode string
+
+const (
+	// CodeInvalidArgument: the request was malformed or the SQL failed to
+	// parse/validate (HTTP 400).
+	CodeInvalidArgument ErrorCode = "invalid_argument"
+	// CodeNotFound: unknown dataset or unknown route (HTTP 404).
+	CodeNotFound ErrorCode = "not_found"
+	// CodeMethodNotAllowed: known route, wrong HTTP method (HTTP 405).
+	CodeMethodNotAllowed ErrorCode = "method_not_allowed"
+	// CodeResourceExhausted: no evaluation slot before the deadline
+	// (HTTP 503).
+	CodeResourceExhausted ErrorCode = "resource_exhausted"
+	// CodeDeadlineExceeded: the query ran past its timeout (HTTP 504).
+	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeCanceled: the client went away mid-evaluation (HTTP 504; mostly
+	// seen in logs, the client rarely reads it).
+	CodeCanceled ErrorCode = "canceled"
+	// CodeInternal: unclassified server-side failure (HTTP 500).
+	CodeInternal ErrorCode = "internal"
+)
+
 // QueryRequest asks the server to evaluate one SQL statement (the paper
 // dialect of holistic.RunSQL) against the registered datasets. The FROM
 // clause names the dataset.
@@ -21,6 +61,9 @@ type QueryRequest struct {
 	// TimeoutMillis bounds the evaluation; 0 means the server default. The
 	// server clamps values above its configured maximum.
 	TimeoutMillis int64 `json:"timeout_millis,omitempty"`
+	// IncludeTrace asks for the query's rendered span tree in
+	// QueryResponse.Trace (the remote counterpart of windowcli -trace).
+	IncludeTrace bool `json:"include_trace,omitempty"`
 }
 
 // QueryResponse carries a result table with every cell rendered as text
@@ -32,6 +75,9 @@ type QueryResponse struct {
 	// string alone cannot distinguish NULL from an empty string value.
 	Nulls [][]bool   `json:"nulls,omitempty"`
 	Stats QueryStats `json:"stats"`
+	// Trace is the indented span tree of the evaluation, present when the
+	// request set IncludeTrace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // QueryStats describes one evaluation: wall time and the tree cache's
@@ -68,17 +114,38 @@ type DatasetInfo struct {
 	Columns []string `json:"columns"`
 }
 
-// DatasetList is the GET /datasets response.
+// DatasetList is the GET /v1/datasets response.
 type DatasetList struct {
 	Datasets []DatasetInfo `json:"datasets"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
-type ErrorResponse struct {
-	Error string `json:"error"`
+// ErrorDetail is the error object inside the envelope.
+type ErrorDetail struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+	Detail  string    `json:"detail,omitempty"`
 }
 
-// Client speaks the windowd protocol against a base URL like
+// ErrorResponse is the envelope of every non-2xx response:
+// {"error":{"code":...,"message":...,"detail":...}}.
+type ErrorResponse struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// Error is the client-side form of a server error: the envelope plus the
+// HTTP status. Clients branch on Code.
+type Error struct {
+	Status  int
+	Code    ErrorCode
+	Message string
+	Detail  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("windowd: %s: %s (HTTP %d)", e.Code, e.Message, e.Status)
+}
+
+// Client speaks the windowd /v1 protocol against a base URL like
 // "http://127.0.0.1:8080".
 type Client struct {
 	BaseURL string
@@ -94,6 +161,7 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // do sends body (JSON-encoded unless raw) and decodes the response into out.
+// Non-2xx responses come back as *Error.
 func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any) error {
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
@@ -113,10 +181,19 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 	}
 	if resp.StatusCode/100 != 2 {
 		var e ErrorResponse
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("windowd: %s (HTTP %d)", e.Error, resp.StatusCode)
+		if json.Unmarshal(data, &e) == nil && e.Error.Code != "" {
+			return &Error{
+				Status:  resp.StatusCode,
+				Code:    e.Error.Code,
+				Message: e.Error.Message,
+				Detail:  e.Error.Detail,
+			}
 		}
-		return fmt.Errorf("windowd: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		return &Error{
+			Status:  resp.StatusCode,
+			Code:    CodeInternal,
+			Message: string(bytes.TrimSpace(data)),
+		}
 	}
 	if out == nil {
 		return nil
@@ -139,7 +216,7 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 // Query evaluates a SQL statement.
 func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
 	var resp QueryResponse
-	if err := c.doJSON(ctx, http.MethodPost, "/query", req, &resp); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, PathQuery, req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -148,7 +225,7 @@ func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 // Explain fetches the evaluation plan of a statement.
 func (c *Client) Explain(ctx context.Context, sql string) (string, error) {
 	var resp ExplainResponse
-	if err := c.doJSON(ctx, http.MethodPost, "/explain", ExplainRequest{SQL: sql}, &resp); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, PathExplain, ExplainRequest{SQL: sql}, &resp); err != nil {
 		return "", err
 	}
 	return resp.Plan, nil
@@ -157,7 +234,7 @@ func (c *Client) Explain(ctx context.Context, sql string) (string, error) {
 // UploadCSV registers (or reloads) a dataset from CSV content.
 func (c *Client) UploadCSV(ctx context.Context, name string, csvData []byte) (*DatasetInfo, error) {
 	var info DatasetInfo
-	if err := c.do(ctx, http.MethodPost, "/datasets/"+name, "text/csv", csvData, &info); err != nil {
+	if err := c.do(ctx, http.MethodPost, PathDatasets+"/"+name, "text/csv", csvData, &info); err != nil {
 		return nil, err
 	}
 	return &info, nil
@@ -167,7 +244,7 @@ func (c *Client) UploadCSV(ctx context.Context, name string, csvData []byte) (*D
 // server's filesystem.
 func (c *Client) RegisterPath(ctx context.Context, name, path string) (*DatasetInfo, error) {
 	var info DatasetInfo
-	if err := c.doJSON(ctx, http.MethodPost, "/datasets/"+name, RegisterRequest{Path: path}, &info); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, PathDatasets+"/"+name, RegisterRequest{Path: path}, &info); err != nil {
 		return nil, err
 	}
 	return &info, nil
@@ -176,15 +253,15 @@ func (c *Client) RegisterPath(ctx context.Context, name, path string) (*DatasetI
 // Datasets lists the registered datasets.
 func (c *Client) Datasets(ctx context.Context) ([]DatasetInfo, error) {
 	var list DatasetList
-	if err := c.doJSON(ctx, http.MethodGet, "/datasets", nil, &list); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, PathDatasets, nil, &list); err != nil {
 		return nil, err
 	}
 	return list.Datasets, nil
 }
 
-// Statusz fetches the plain-text metrics page.
-func (c *Client) Statusz(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/statusz", nil)
+// getText fetches a plain-text page.
+func (c *Client) getText(ctx context.Context, path string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
 		return "", err
 	}
@@ -198,7 +275,17 @@ func (c *Client) Statusz(ctx context.Context) (string, error) {
 		return "", err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("windowd: statusz: HTTP %d", resp.StatusCode)
+		return "", fmt.Errorf("windowd: %s: HTTP %d", path, resp.StatusCode)
 	}
 	return string(data), nil
+}
+
+// Statusz fetches the plain-text debug status page.
+func (c *Client) Statusz(ctx context.Context) (string, error) {
+	return c.getText(ctx, "/statusz")
+}
+
+// Metrics fetches the Prometheus text exposition of GET /v1/metrics.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	return c.getText(ctx, PathMetrics)
 }

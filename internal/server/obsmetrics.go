@@ -1,0 +1,195 @@
+package server
+
+import (
+	"strconv"
+	"time"
+
+	"holistic/internal/arena"
+	"holistic/internal/obs"
+)
+
+// serverObs is windowd's metric surface, exported in the Prometheus text
+// format at GET /v1/metrics. Request- and query-scoped series are updated
+// live on their handles; counters owned elsewhere — the tree cache, the
+// arena and the scratch pools — are func-backed and snapshotted at scrape
+// time, so the exposition replaces the hand-rolled /statusz text as the
+// machine-readable view of those subsystems (the text page stays for
+// humans).
+//
+// Series (labels in braces), documented in DESIGN.md §9:
+//
+//	windowd_requests_total{route,code}            counter
+//	windowd_request_duration_seconds{route}       histogram
+//	windowd_response_bytes_total{route}           counter
+//	windowd_inflight_requests                     gauge
+//	windowd_eval_duration_seconds{function,engine} histogram
+//	windowd_rows_returned_total                   counter
+//	windowd_slow_queries_total                    counter
+//	windowd_admission_queue_depth                 gauge
+//	windowd_admission_in_use                      gauge
+//	windowd_admission_timeouts_total              counter
+//	windowd_uptime_seconds                        gauge  (func)
+//	windowd_datasets                              gauge  (func)
+//	windowd_cache_events_total{event}             counter (func)
+//	windowd_cache_entries / _bytes / _budget_bytes gauge (func)
+//	windowd_cache_build_seconds_total             counter (func)
+//	windowd_arena_{arenas,chunks,resets}_total    counter (func)
+//	windowd_arena_allocated_bytes_total           counter (func)
+//	windowd_pool_{gets,puts,misses}_total{pool}   counter (func)
+//	windowd_pool_bytes_in_flight{pool}            gauge  (func)
+type serverObs struct {
+	reg *obs.Registry
+
+	requests  *obs.Counter
+	reqDur    *obs.Histogram
+	respBytes *obs.Counter
+	inflight  *obs.GaugeCell
+
+	evalDur      *obs.Histogram
+	rowsReturned *obs.CounterCell
+	slowQueries  *obs.CounterCell
+
+	admissionDepth    *obs.GaugeCell
+	admissionInUse    *obs.GaugeCell
+	admissionTimeouts *obs.CounterCell
+}
+
+// newServerObs builds the registry. s only needs its cache and dataset map
+// ready; the func-backed families hold the *Server and snapshot at scrape.
+func newServerObs(s *Server) *serverObs {
+	reg := obs.NewRegistry()
+	start := time.Now()
+	o := &serverObs{
+		reg: reg,
+		requests: reg.NewCounter("windowd_requests_total",
+			"HTTP requests served, by route pattern and status code.",
+			"route", "code"),
+		reqDur: reg.NewHistogram("windowd_request_duration_seconds",
+			"End-to-end request latency by route pattern.",
+			nil, "route"),
+		respBytes: reg.NewCounter("windowd_response_bytes_total",
+			"Response body bytes written, by route pattern.",
+			"route"),
+	}
+	o.inflight = reg.NewGauge("windowd_inflight_requests",
+		"Requests currently being handled.").With()
+	o.evalDur = reg.NewHistogram("windowd_eval_duration_seconds",
+		"Per-(function, engine) window evaluation time, from the query span tree.",
+		nil, "function", "engine")
+	o.rowsReturned = reg.NewCounter("windowd_rows_returned_total",
+		"Result rows rendered into query responses.").With()
+	o.slowQueries = reg.NewCounter("windowd_slow_queries_total",
+		"Queries exceeding the slow-query threshold.").With()
+	o.admissionDepth = reg.NewGauge("windowd_admission_queue_depth",
+		"Queries waiting for an evaluation slot.").With()
+	o.admissionInUse = reg.NewGauge("windowd_admission_in_use",
+		"Evaluation slots currently occupied.").With()
+	o.admissionTimeouts = reg.NewCounter("windowd_admission_timeouts_total",
+		"Queries that hit their deadline before getting an evaluation slot.").With()
+
+	reg.NewGaugeFunc("windowd_uptime_seconds",
+		"Seconds since the server was built.", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: time.Since(start).Seconds()}}
+		})
+	reg.NewGaugeFunc("windowd_datasets",
+		"Registered datasets.", nil, func() []obs.Sample {
+			s.mu.RLock()
+			n := len(s.datasets)
+			s.mu.RUnlock()
+			return []obs.Sample{{Value: float64(n)}}
+		})
+
+	reg.NewCounterFunc("windowd_cache_events_total",
+		"Tree cache lifecycle events: hit, miss, join (single-flight follower), failure, eviction, invalidation.",
+		[]string{"event"}, func() []obs.Sample {
+			st := s.cache.Stats()
+			return []obs.Sample{
+				{Labels: []string{"hit"}, Value: float64(st.Hits)},
+				{Labels: []string{"miss"}, Value: float64(st.Misses)},
+				{Labels: []string{"join"}, Value: float64(st.Joins)},
+				{Labels: []string{"failure"}, Value: float64(st.Failures)},
+				{Labels: []string{"eviction"}, Value: float64(st.Evictions)},
+				{Labels: []string{"invalidation"}, Value: float64(st.Invalidations)},
+			}
+		})
+	reg.NewGaugeFunc("windowd_cache_entries",
+		"Entries resident in the tree cache.", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(s.cache.Stats().Entries)}}
+		})
+	reg.NewGaugeFunc("windowd_cache_bytes",
+		"Bytes resident in the tree cache.", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(s.cache.Stats().Bytes)}}
+		})
+	reg.NewGaugeFunc("windowd_cache_budget_bytes",
+		"Tree cache byte budget (0 = unlimited).", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(s.cache.Stats().Budget)}}
+		})
+	reg.NewCounterFunc("windowd_cache_build_seconds_total",
+		"Cumulative time spent building cache entries.", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: s.cache.Stats().BuildTime.Seconds()}}
+		})
+
+	reg.NewCounterFunc("windowd_arena_arenas_total",
+		"Arenas created by the allocation-aware query path.", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(arena.ArenaSnapshot().Arenas)}}
+		})
+	reg.NewCounterFunc("windowd_arena_chunks_total",
+		"Chunks reserved by arenas.", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(arena.ArenaSnapshot().Chunks)}}
+		})
+	reg.NewCounterFunc("windowd_arena_allocated_bytes_total",
+		"Bytes reserved by arenas.", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(arena.ArenaSnapshot().Bytes)}}
+		})
+	reg.NewCounterFunc("windowd_arena_resets_total",
+		"Arena resets (reuse of reserved chunks).", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(arena.ArenaSnapshot().Resets)}}
+		})
+
+	reg.NewCounterFunc("windowd_pool_gets_total",
+		"Scratch-pool Get calls, by pool.", []string{"pool"}, poolSamples(func(ps arena.PoolStat) float64 { return float64(ps.Gets) }))
+	reg.NewCounterFunc("windowd_pool_puts_total",
+		"Scratch-pool Put calls, by pool.", []string{"pool"}, poolSamples(func(ps arena.PoolStat) float64 { return float64(ps.Puts) }))
+	reg.NewCounterFunc("windowd_pool_misses_total",
+		"Scratch-pool Gets that had to allocate, by pool.", []string{"pool"}, poolSamples(func(ps arena.PoolStat) float64 { return float64(ps.Misses) }))
+	reg.NewGaugeFunc("windowd_pool_bytes_in_flight",
+		"Scratch-pool bytes handed out and not yet returned, by pool.", []string{"pool"}, poolSamples(func(ps arena.PoolStat) float64 { return float64(ps.BytesInFlight) }))
+	return o
+}
+
+// poolSamples adapts one numeric field of every registered pool into a
+// labelled sample set.
+func poolSamples(field func(arena.PoolStat) float64) func() []obs.Sample {
+	return func() []obs.Sample {
+		stats := arena.Snapshot()
+		out := make([]obs.Sample, 0, len(stats))
+		for _, ps := range stats {
+			out = append(out, obs.Sample{Labels: []string{ps.Name}, Value: field(ps)})
+		}
+		return out
+	}
+}
+
+// observeRequest records the per-request series after the handler returned.
+func (o *serverObs) observeRequest(route string, status int, d time.Duration, bytes int64) {
+	code := strconv.Itoa(status)
+	o.requests.With(route, code).Inc()
+	o.reqDur.With(route).Observe(d.Seconds())
+	o.respBytes.With(route).Add(float64(bytes))
+}
+
+// observeQuerySpans walks a finished query span tree and feeds the
+// per-(function, engine) evaluation histogram from the "eval" spans the
+// operator emitted.
+func (o *serverObs) observeQuerySpans(root *obs.Span) {
+	root.Walk(func(sp *obs.Span, _ int) {
+		if sp.Name() != "eval" {
+			return
+		}
+		fn, eng := sp.Attr("function"), sp.Attr("engine")
+		if fn == "" || eng == "" {
+			return
+		}
+		o.evalDur.With(fn, eng).Observe(sp.Duration().Seconds())
+	})
+}

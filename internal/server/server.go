@@ -9,10 +9,18 @@
 // paper's "one tree answers arbitrarily many framed queries" property
 // lifted to the request level.
 //
+// The HTTP surface is versioned under /v1 (see internal/server/api for the
+// wire contract): /v1/query, /v1/explain, /v1/datasets, /v1/healthz and the
+// Prometheus exposition at /v1/metrics. The pre-versioning unversioned
+// paths answer identically as deprecated aliases, with a Deprecation header
+// and a Link to their successor. Every non-2xx response — including the
+// mux's own 404 and 405 — carries the api.ErrorResponse envelope.
+//
 // Production plumbing: per-request timeouts plumbed into the operator's
-// cooperative cancellation, a semaphore admission limiter, /healthz and
-// /statusz, structured request logging, and graceful shutdown through
-// http.Server.Shutdown draining in-flight queries.
+// cooperative cancellation, a semaphore admission limiter, per-query trace
+// spans feeding the metrics registry and a threshold-gated slow-query log,
+// /healthz and /statusz, structured request logging, and graceful shutdown
+// through http.Server.Shutdown draining in-flight queries.
 package server
 
 import (
@@ -31,6 +39,8 @@ import (
 	"holistic/internal/arena"
 	"holistic/internal/core"
 	"holistic/internal/csvio"
+	"holistic/internal/obs"
+	"holistic/internal/server/api"
 	"holistic/internal/sqlparse"
 	"holistic/internal/treecache"
 )
@@ -49,6 +59,11 @@ type Config struct {
 	// TaskSize overrides the operator's parallel task granularity
 	// (tests use small values to exercise cancellation between chunks).
 	TaskSize int
+	// SlowQuery is the slow-query log threshold: queries whose evaluation
+	// takes at least this long are logged at WARN with their rendered span
+	// tree (including cache_key attributes, so a cold-cache build is
+	// distinguishable from a slow probe). <= 0 disables the log.
+	SlowQuery time.Duration
 	// Logger receives structured request logs; nil means slog.Default().
 	Logger *slog.Logger
 }
@@ -76,9 +91,8 @@ type dataset struct {
 	scope string // cache key prefix: "name@v<version>"
 }
 
-// DatasetInfo mirrors api.DatasetInfo without importing it (the api package
-// imports nothing from server either; the JSON shapes are kept in sync by
-// the shared-client tests).
+// DatasetInfo mirrors api.DatasetInfo; the JSON shapes are kept in sync by
+// the shared-client tests.
 type DatasetInfo struct {
 	Name    string   `json:"name"`
 	Version int64    `json:"version"`
@@ -92,7 +106,8 @@ type Server struct {
 	log     *slog.Logger
 	cache   *treecache.Cache
 	limiter chan struct{}
-	metrics *metrics
+	metrics *metrics   // plain-text /statusz counters
+	obs     *serverObs // Prometheus /v1/metrics registry
 
 	mu       sync.RWMutex
 	datasets map[string]*dataset
@@ -111,28 +126,58 @@ func New(cfg Config) *Server {
 		metrics:  newMetrics(),
 		datasets: make(map[string]*dataset),
 	}
+	s.obs = newServerObs(s)
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Canonical v1 surface.
+	mux.HandleFunc("GET "+api.PathHealthz, s.handleHealthz)
+	mux.HandleFunc("GET "+api.PathMetrics, s.handleMetrics)
+	mux.HandleFunc("GET "+api.PathDatasets, s.handleListDatasets)
+	mux.HandleFunc("POST "+api.PathDatasets+"/{name}", s.handleRegister)
+	mux.HandleFunc("POST "+api.PathQuery, s.handleQuery)
+	mux.HandleFunc("POST "+api.PathExplain, s.handleExplain)
+	// Human-facing debug page; not part of the versioned API.
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
-	mux.HandleFunc("GET /datasets", s.handleListDatasets)
-	mux.HandleFunc("POST /datasets/{name}", s.handleRegister)
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /explain", s.handleExplain)
+	// Deprecated pre-versioning aliases: same handlers, plus a Deprecation
+	// header pointing clients at the /v1 successor.
+	mux.HandleFunc("GET /healthz", deprecated(s.handleHealthz))
+	mux.HandleFunc("GET /datasets", deprecated(s.handleListDatasets))
+	mux.HandleFunc("POST /datasets/{name}", deprecated(s.handleRegister))
+	mux.HandleFunc("POST /query", deprecated(s.handleQuery))
+	mux.HandleFunc("POST /explain", deprecated(s.handleExplain))
 	s.mux = mux
 	return s
 }
 
+// deprecated wraps a legacy unversioned route: the response gains a
+// Deprecation header (RFC 8594 style) and a Link to the /v1 successor, and
+// is otherwise byte-identical to the canonical route.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		h(w, r)
+	}
+}
+
 // Handler returns the HTTP handler with request logging and metrics wired
-// around every route.
+// around every route, and the error envelope wired under unmatched requests
+// (the mux's plain-text 404/405 never reach a client).
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.metrics.begin()
+		s.obs.inflight.Add(1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		s.mux.ServeHTTP(sw, r)
+		if _, pattern := s.mux.Handler(r); pattern == "" {
+			s.serveUnmatched(sw, r)
+		} else {
+			s.mux.ServeHTTP(sw, r)
+		}
 		d := time.Since(start)
 		route := r.Method + " " + routeOf(r.URL.Path)
 		s.metrics.end(route, sw.status, d)
+		s.obs.inflight.Add(-1)
+		s.obs.observeRequest(route, sw.status, d, sw.bytes)
 		s.log.Info("request",
 			"method", r.Method,
 			"path", r.URL.Path,
@@ -142,24 +187,75 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-// routeOf collapses parameterized paths so metrics aggregate per route, not
-// per dataset name.
-func routeOf(path string) string {
-	if strings.HasPrefix(path, "/datasets/") {
-		return "/datasets/{name}"
+// serveUnmatched answers a request no pattern matched with the JSON error
+// envelope. The mux is probed against a throwaway writer to learn whether
+// this is a 404 or a 405 (and to salvage the Allow header it computes).
+func (s *Server) serveUnmatched(w http.ResponseWriter, r *http.Request) {
+	h, _ := s.mux.Handler(r)
+	probe := &probeWriter{header: make(http.Header)}
+	h.ServeHTTP(probe, r)
+	if allow := probe.header.Get("Allow"); allow != "" {
+		w.Header().Set("Allow", allow)
 	}
-	return path
+	if probe.status == http.StatusMethodNotAllowed {
+		writeError(w, httpErrorf(http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"method %s not allowed for %s", r.Method, r.URL.Path))
+		return
+	}
+	writeError(w, httpErrorf(http.StatusNotFound, api.CodeNotFound,
+		"no route for %s %s", r.Method, r.URL.Path))
 }
 
-// statusWriter records the response status for logging and metrics.
+// probeWriter captures the status and headers of the mux's built-in
+// not-found/not-allowed handlers without sending anything to the client.
+type probeWriter struct {
+	header http.Header
+	status int
+}
+
+func (p *probeWriter) Header() http.Header         { return p.header }
+func (p *probeWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (p *probeWriter) WriteHeader(code int) {
+	if p.status == 0 {
+		p.status = code
+	}
+}
+
+// routeOf collapses parameterized paths so metrics aggregate per route, not
+// per dataset name. Route label cardinality is bounded by the route table,
+// not by request paths: unmatched paths all collapse to "(unmatched)".
+func routeOf(path string) string {
+	p := strings.TrimPrefix(path, "/v1")
+	switch p {
+	case "/healthz", "/statusz", "/datasets", "/query", "/explain", "/metrics":
+		return path
+	}
+	if strings.HasPrefix(p, "/datasets/") {
+		if strings.HasPrefix(path, "/v1/") {
+			return "/v1/datasets/{name}"
+		}
+		return "/datasets/{name}"
+	}
+	return "(unmatched)"
+}
+
+// statusWriter records the response status and body size for logging and
+// metrics.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // CacheStats exposes the tree cache counters (used by /statusz and tests).
@@ -228,16 +324,17 @@ func (s *Server) lookup(name string) (*dataset, bool) {
 	return ds, ok
 }
 
-// httpError is an error with a dedicated HTTP status.
+// httpError is an error with a dedicated HTTP status and envelope code.
 type httpError struct {
 	status int
+	code   api.ErrorCode
 	msg    string
 }
 
 func (e *httpError) Error() string { return e.msg }
 
-func httpErrorf(status int, format string, args ...any) *httpError {
-	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+func httpErrorf(status int, code api.ErrorCode, format string, args ...any) *httpError {
+	return &httpError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -248,24 +345,37 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError renders err as the api.ErrorResponse envelope. Errors that
+// carry no explicit classification map to internal (500), except context
+// errors, which surface as 504 with the matching code.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	code := api.CodeInternal
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
-		status = he.status
+		status, code = he.status, he.code
 	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
+		status, code = http.StatusGatewayTimeout, api.CodeDeadlineExceeded
 	case errors.Is(err, context.Canceled):
 		// The client went away; the status is for the log line only.
-		status = http.StatusGatewayTimeout
+		status, code = http.StatusGatewayTimeout, api.CodeCanceled
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, api.ErrorResponse{Error: api.ErrorDetail{
+		Code:    code,
+		Message: err.Error(),
+	}})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics serves the Prometheus text exposition (format 0.0.4).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.obs.reg.WriteText(w)
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -306,7 +416,7 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if name == "" {
-		writeError(w, httpErrorf(http.StatusBadRequest, "missing dataset name"))
+		writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "missing dataset name"))
 		return
 	}
 	var info DatasetInfo
@@ -316,11 +426,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 			Path string `json:"path"`
 		}
 		if derr := json.NewDecoder(r.Body).Decode(&req); derr != nil {
-			writeError(w, httpErrorf(http.StatusBadRequest, "bad register request: %v", derr))
+			writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "bad register request: %v", derr))
 			return
 		}
 		if req.Path == "" {
-			writeError(w, httpErrorf(http.StatusBadRequest, "register request needs a path (or upload CSV directly)"))
+			writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "register request needs a path (or upload CSV directly)"))
 			return
 		}
 		info, err = s.RegisterPath(name, req.Path)
@@ -328,7 +438,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		info, err = s.RegisterCSV(name, r.Body)
 	}
 	if err != nil {
-		writeError(w, httpErrorf(http.StatusBadRequest, "register %q: %v", name, err))
+		writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "register %q: %v", name, err))
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -339,17 +449,17 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		SQL string `json:"sql"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, httpErrorf(http.StatusBadRequest, "bad explain request: %v", err))
+		writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "bad explain request: %v", err))
 		return
 	}
 	q, err := sqlparse.Parse(req.SQL)
 	if err != nil {
-		writeError(w, httpErrorf(http.StatusBadRequest, "%v", err))
+		writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "%v", err))
 		return
 	}
 	plan, err := sqlparse.Explain(q)
 	if err != nil {
-		writeError(w, httpErrorf(http.StatusBadRequest, "%v", err))
+		writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "%v", err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"plan": plan})
@@ -371,12 +481,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		SQL           string `json:"sql"`
 		TimeoutMillis int64  `json:"timeout_millis"`
+		IncludeTrace  bool   `json:"include_trace"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, httpErrorf(http.StatusBadRequest, "bad query request: %v", err))
+		writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "bad query request: %v", err))
 		return
 	}
-	resp, err := s.query(r.Context(), req.SQL, req.TimeoutMillis)
+	resp, err := s.query(r.Context(), req.SQL, req.TimeoutMillis, req.IncludeTrace)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -384,8 +495,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// queryResponse mirrors api.QueryResponse (see DatasetInfo for why the
-// shapes are duplicated rather than imported).
+// queryResponse mirrors api.QueryResponse (kept in sync by the
+// shared-client tests).
 type queryResponse struct {
 	Columns []string   `json:"columns"`
 	Rows    [][]string `json:"rows"`
@@ -395,17 +506,21 @@ type queryResponse struct {
 		CacheHits     int64   `json:"cache_hits"`
 		CacheMisses   int64   `json:"cache_misses"`
 	} `json:"stats"`
+	Trace string `json:"trace,omitempty"`
 }
 
-// query parses, admits, evaluates and renders one statement.
-func (s *Server) query(parent context.Context, sql string, timeoutMillis int64) (*queryResponse, error) {
+// query parses, admits, evaluates and renders one statement. Every query
+// runs under a trace span: the finished tree feeds the per-(function,
+// engine) evaluation histograms, the slow-query log, and — when the request
+// asked for it — the response's Trace field.
+func (s *Server) query(parent context.Context, sql string, timeoutMillis int64, includeTrace bool) (*queryResponse, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
-		return nil, httpErrorf(http.StatusBadRequest, "%v", err)
+		return nil, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "%v", err)
 	}
 	ds, ok := s.lookup(q.From)
 	if !ok {
-		return nil, httpErrorf(http.StatusNotFound, "unknown dataset %q", q.From)
+		return nil, httpErrorf(http.StatusNotFound, api.CodeNotFound, "unknown dataset %q", q.From)
 	}
 
 	ctx, cancel := context.WithTimeout(parent, s.timeoutFor(timeoutMillis))
@@ -415,33 +530,59 @@ func (s *Server) query(parent context.Context, sql string, timeoutMillis int64) 
 	// a query that times out in the queue fails fast without ever occupying
 	// a slot, and a query cancelled mid-evaluation releases its slot as
 	// soon as the operator observes the context.
+	s.obs.admissionDepth.Add(1)
 	select {
 	case s.limiter <- struct{}{}:
+		s.obs.admissionDepth.Add(-1)
 	case <-ctx.Done():
-		return nil, httpErrorf(http.StatusServiceUnavailable, "no evaluation slot before deadline: %v", ctx.Err())
+		s.obs.admissionDepth.Add(-1)
+		s.obs.admissionTimeouts.Inc()
+		return nil, httpErrorf(http.StatusServiceUnavailable, api.CodeResourceExhausted,
+			"no evaluation slot before deadline: %v", ctx.Err())
 	}
-	defer func() { <-s.limiter }()
+	s.obs.admissionInUse.Add(1)
+	defer func() {
+		<-s.limiter
+		s.obs.admissionInUse.Add(-1)
+	}()
 
+	root := obs.NewSpan("query")
+	root.Set("sql", sql)
 	start := time.Now()
 	res, err := sqlparse.Execute(q, map[string]*core.Table{q.From: ds.file.Table}, core.Options{
 		Context:    ctx,
 		Cache:      s.cache,
 		CacheScope: ds.scope,
 		TaskSize:   s.cfg.TaskSize,
+		Trace:      root,
 	})
+	root.End()
+	elapsed := time.Since(start)
+	s.obs.observeQuerySpans(root)
+	if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
+		s.obs.slowQueries.Inc()
+		s.log.Warn("slow query",
+			"sql", sql,
+			"elapsed_ms", float64(elapsed)/float64(time.Millisecond),
+			"threshold_ms", float64(s.cfg.SlowQuery)/float64(time.Millisecond),
+			"trace", "\n"+root.Render(),
+		)
+	}
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, ctxErr
 		}
-		return nil, httpErrorf(http.StatusBadRequest, "%v", err)
+		return nil, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "%v", err)
 	}
-	elapsed := time.Since(start)
 
 	resp := &queryResponse{}
 	resp.Stats.ElapsedMillis = float64(elapsed) / float64(time.Millisecond)
 	st := s.cache.Stats()
 	resp.Stats.CacheHits = st.Hits
 	resp.Stats.CacheMisses = st.Misses
+	if includeTrace {
+		resp.Trace = root.Render()
+	}
 	cols := res.Columns()
 	resp.Columns = make([]string, len(cols))
 	for i, c := range cols {
@@ -464,5 +605,6 @@ func (s *Server) query(parent context.Context, sql string, timeoutMillis int64) 
 		resp.Rows[i] = row
 		resp.Nulls[i] = nulls
 	}
+	s.obs.rowsReturned.Add(float64(n))
 	return resp, nil
 }

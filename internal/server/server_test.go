@@ -236,7 +236,7 @@ func TestStatuszReflectsCache(t *testing.T) {
 	for _, want := range []string{
 		fmt.Sprintf("hits=%d", st.Hits),
 		fmt.Sprintf("misses=%d", st.Misses),
-		"endpoint POST /query:",
+		"endpoint POST /v1/query:",
 		"dataset t: version=1",
 	} {
 		if !strings.Contains(page, want) {

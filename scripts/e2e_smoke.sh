@@ -2,7 +2,9 @@
 # End-to-end smoke test for windowd: build the daemon, load a CSV dataset,
 # run a framed percentile query over HTTP twice, and assert the second run
 # is served from the structure cache (hits up, no new builds). Also checks
-# /statusz, the windowcli -server mode, and graceful shutdown.
+# /statusz, the /v1/metrics exposition (core series present and non-zero),
+# the deprecated unversioned aliases, the windowcli -server and -trace
+# modes, and graceful shutdown.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,14 +32,14 @@ base="http://127.0.0.1:$port"
 pid=$!
 
 for _ in $(seq 1 100); do
-    curl -sf "$base/healthz" > /dev/null 2>&1 && break
+    curl -sf "$base/v1/healthz" > /dev/null 2>&1 && break
     sleep 0.1
 done
-curl -sf "$base/healthz" > /dev/null || { echo "FAIL: windowd never became healthy"; cat "$tmp/windowd.log"; exit 1; }
+curl -sf "$base/v1/healthz" > /dev/null || { echo "FAIL: windowd never became healthy"; cat "$tmp/windowd.log"; exit 1; }
 
 query='{"sql":"select d, percentile_disc(0.5 order by v) over (order by d rows between 99 preceding and current row) as med from t"}'
-r1=$(curl -sf "$base/query" -H 'Content-Type: application/json' -d "$query")
-r2=$(curl -sf "$base/query" -H 'Content-Type: application/json' -d "$query")
+r1=$(curl -sf "$base/v1/query" -H 'Content-Type: application/json' -d "$query")
+r2=$(curl -sf "$base/v1/query" -H 'Content-Type: application/json' -d "$query")
 
 num() { printf '%s' "$1" | grep -o "\"$2\":[0-9]*" | head -1 | cut -d: -f2; }
 
@@ -50,10 +52,39 @@ hits2=$(num "$r2" cache_hits); misses2=$(num "$r2" cache_misses)
 
 curl -sf "$base/statusz" | grep -q "hits=$hits2" || { echo "FAIL: statusz does not report cache hits"; exit 1; }
 
-cli_out=$("${TMPDIR:-/tmp}/windowcli" -server "$base" \
-    -query "select count(distinct v) over (order by d rows between 49 preceding and current row) as cd from t")
+# Legacy unversioned aliases: still answering, marked deprecated.
+legacy_headers=$(curl -sf -D - -o /dev/null "$base/healthz")
+printf '%s' "$legacy_headers" | grep -qi '^Deprecation: true' || { echo "FAIL: legacy /healthz lacks Deprecation header"; exit 1; }
+printf '%s' "$legacy_headers" | grep -qi 'successor-version'  || { echo "FAIL: legacy /healthz lacks successor Link"; exit 1; }
+curl -sf "$base/query" -H 'Content-Type: application/json' -d "$query" | grep -q '"med"' \
+    || { echo "FAIL: legacy /query alias does not answer"; exit 1; }
+
+# /v1/metrics: core series must be present and the counters non-zero.
+metrics=$(curl -sf "$base/v1/metrics")
+metric_positive() {
+    v=$(printf '%s\n' "$metrics" | grep -F "$1" | grep -v '^#' | head -1 | awk '{print $NF}')
+    [ -n "$v" ] && awk -v x="$v" 'BEGIN { exit (x > 0) ? 0 : 1 }'
+}
+for series in \
+    'windowd_requests_total{route="POST /v1/query",code="200"}' \
+    'windowd_request_duration_seconds_count{route="POST /v1/query"}' \
+    'windowd_eval_duration_seconds_count{function="percentile_disc",engine="mst"}' \
+    'windowd_cache_events_total{event="hit"}' \
+    'windowd_cache_events_total{event="miss"}' \
+    'windowd_rows_returned_total' \
+    'windowd_pool_gets_total' \
+    'windowd_arena_arenas_total' \
+    'windowd_uptime_seconds'
+do
+    metric_positive "$series" || { echo "FAIL: metrics series missing or zero: $series"; printf '%s\n' "$metrics" | head -40; exit 1; }
+done
+
+cli_out=$("${TMPDIR:-/tmp}/windowcli" -server "$base" -trace \
+    -query "select count(distinct v) over (order by d rows between 49 preceding and current row) as cd from t" \
+    2> "$tmp/trace.log")
 printf '%s\n' "$cli_out" | head -1 | grep -q '^cd$' || { echo "FAIL: windowcli -server output: $cli_out"; exit 1; }
 [ "$(printf '%s\n' "$cli_out" | wc -l)" -eq 501 ]   || { echo "FAIL: windowcli row count"; exit 1; }
+grep -q 'probe' "$tmp/trace.log" || { echo "FAIL: windowcli -trace printed no span tree"; cat "$tmp/trace.log"; exit 1; }
 
 kill "$pid"
 wait "$pid" 2>/dev/null || true
