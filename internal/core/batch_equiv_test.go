@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"holistic/internal/frame"
+	"holistic/internal/mst"
+)
+
+// The batched level-synchronous kernels must be invisible in results: for
+// any dataset, frame and window function, evaluation with the batched probe
+// path returns byte-identical output to Options.NoBatch (the scalar per-row
+// descents). A divergence means a collector mis-translated a row's query
+// set, the dedup rule reused a non-identical query, or a kernel diverged
+// from its scalar counterpart.
+
+func TestBatchEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	treeVariants := []mst.Options{{}, {Fanout: 2, SampleEvery: 1}, {NoCascading: true}, {Force64: true}}
+	trials := 16
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := []int{0, 1, 3, 13, 40, 150, 700}[trial%7]
+		tab := randTable(rng, n)
+		fs := randFrame(rng)
+		w := &WindowSpec{
+			OrderBy:  []SortKey{{Column: "d", Desc: rng.Intn(2) == 0}},
+			Frame:    fs,
+			FrameSet: true,
+			Funcs:    allFuncSpecs(rng),
+		}
+		if rng.Intn(2) == 0 {
+			w.PartitionBy = []string{"g"}
+		}
+		// Small task sizes so chunk boundaries (where dedup resets) fall
+		// inside partitions.
+		batchedOpt := Options{Tree: treeVariants[trial%len(treeVariants)], TaskSize: 16}
+		scalarOpt := batchedOpt
+		scalarOpt.NoBatch = true
+
+		batched, err := Run(tab, w, batchedOpt)
+		if err != nil {
+			t.Fatalf("trial %d batched: %v", trial, err)
+		}
+		scalar, err := Run(tab, w, scalarOpt)
+		if err != nil {
+			t.Fatalf("trial %d scalar: %v", trial, err)
+		}
+		for i := range w.Funcs {
+			f := &w.Funcs[i]
+			label := fmt.Sprintf("trial %d %v (%s) frame{%v %v/%v ex%d}",
+				trial, f.Name, f.Output, fs.Mode, fs.Start.Type, fs.End.Type, fs.Exclude)
+			assertColumnsIdentical(t, label, batched.Column(f.Output), scalar.Column(f.Output))
+		}
+	}
+}
+
+// TestBatchEquivalenceDedupHeavy pins the adjacent-row dedup path: a default
+// RANGE frame over a low-cardinality ORDER BY key makes every peer group
+// share one frame, so most rows reuse their predecessor's queries. Results
+// must still match the scalar path exactly, and the dedup counter must see
+// the reuse.
+func TestBatchEquivalenceDedupHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(778))
+	tab := randTable(rng, 400)
+	w := &WindowSpec{
+		OrderBy: []SortKey{{Column: "g"}}, // few distinct values: large peer groups
+		Frame: frame.Spec{
+			Mode:  frame.Range,
+			Start: frame.Bound{Type: frame.UnboundedPreceding},
+			End:   frame.Bound{Type: frame.CurrentRow},
+		},
+		FrameSet: true,
+		Funcs: []FuncSpec{
+			{Name: CountDistinct, Output: "cd", Arg: "v"},
+			{Name: Rank, Output: "rk", OrderBy: []SortKey{{Column: "g"}}},
+			{Name: CumeDist, Output: "cu", OrderBy: []SortKey{{Column: "g"}}},
+			{Name: FirstValue, Output: "fv", Arg: "v", OrderBy: []SortKey{{Column: "v"}}},
+			{Name: PercentileCont, Output: "pc", Fraction: 0.37, OrderBy: []SortKey{{Column: "fv"}}},
+		},
+	}
+	before := BatchSnapshot()
+	batched, err := Run(tab, w, Options{TaskSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := BatchSnapshot()
+	if after.Queries <= before.Queries {
+		t.Errorf("batched run did not raise the query counter: %+v -> %+v", before, after)
+	}
+	if after.DedupHits <= before.DedupHits {
+		t.Errorf("dedup-heavy run did not raise the dedup counter: %+v -> %+v", before, after)
+	}
+	scalar, err := Run(tab, w, Options{TaskSize: 64, NoBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := BatchSnapshot(); got != after {
+		t.Errorf("NoBatch run moved the batch counters: %+v -> %+v", after, got)
+	}
+	for i := range w.Funcs {
+		f := &w.Funcs[i]
+		assertColumnsIdentical(t, f.Output, batched.Column(f.Output), scalar.Column(f.Output))
+	}
+}

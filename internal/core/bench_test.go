@@ -113,6 +113,131 @@ func BenchmarkEvalMSTSelect(b *testing.B) {
 	}
 }
 
+// BenchmarkEvalMSTCountBatch compares the batched level-synchronous count
+// kernel against the scalar per-row descent on the same warm COUNT(DISTINCT)
+// probe (sliding ±100 ROWS frame): ns/op is per row, both arms write through
+// the same output builder. The bench-regress CI gate tracks both arms; the
+// batched/scalar ratio is the tentpole's acceptance number (EXPERIMENTS.md).
+func BenchmarkEvalMSTCountBatch(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		n    int
+	}{{"20k", 20_000}, {"1M", 1_000_000}} {
+		f := &FuncSpec{Name: CountDistinct, Output: "x", Arg: "v"}
+		p, fc := benchPartition(b, size.n, f)
+		var opt Options
+		fl := newFiltered(p, &p.w.Funcs[0], f.Arg, opt)
+		prev, next := buildDistinctInputs(fl, &p.w.Funcs[0], opt)
+		tree, err := mst.Build(prev, opt.Tree)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := newOutBuilder(f.Output, Int64, size.n)
+		for _, arm := range []string{"batched", "scalar"} {
+			arm := arm
+			b.Run(arm+"-"+size.name, func(b *testing.B) {
+				agg := &batchAgg{}
+				var scratch, mapped [3][2]int
+				const chunkRows = 4096
+				// Warm the kernel scratch pools so steady state is measured.
+				distinctCountChunk(p, fl, fc, tree, prev, next, out, opt, agg, 0, min(chunkRows, size.n))
+				b.ReportAllocs()
+				b.ResetTimer()
+				row := 0
+				for done := 0; done < b.N; {
+					c := chunkRows
+					if row+c > size.n {
+						c = size.n - row
+					}
+					if done+c > b.N {
+						c = b.N - done
+					}
+					if arm == "batched" {
+						distinctCountChunk(p, fl, fc, tree, prev, next, out, opt, agg, row, row+c)
+					} else {
+						for i := row; i < row+c; i++ {
+							ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
+							out.setInt(p.orig(i), int64(distinctCount(tree, prev, next, ranges)))
+						}
+					}
+					done += c
+					row += c
+					if row == size.n {
+						row = 0
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEvalMSTSelectBatch compares the batched select kernel against the
+// scalar per-row SelectKthRanges descent on a warm FIRST_VALUE probe.
+func BenchmarkEvalMSTSelectBatch(b *testing.B) {
+	const n = 20_000
+	f := &FuncSpec{Name: FirstValue, Output: "x", Arg: "v", OrderBy: []SortKey{{Column: "v"}}}
+	p, fc := benchPartition(b, n, f)
+	var opt Options
+	fl := newFiltered(p, &p.w.Funcs[0], "", opt)
+	sortedKept := keptOrder(fl, p.sortedByFuncOrder(&p.w.Funcs[0]), make([]int32, fl.k))
+	perm := preprocess.Permutation(sortedKept)
+	tree, err := mst.Build(perm, opt.Tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	valueCol := p.t.Column(f.Arg)
+	out := newOutBuilder(f.Output, valueCol.Kind(), n)
+	for _, arm := range []string{"batched", "scalar"} {
+		arm := arm
+		b.Run(arm, func(b *testing.B) {
+			agg := &batchAgg{}
+			var scratch, mapped [3][2]int
+			var r64 [3][2]int64
+			const chunkRows = 4096
+			selectChunk(p, &p.w.Funcs[0], fl, fc, tree, valueCol, out, opt, agg, 0, chunkRows)
+			b.ReportAllocs()
+			b.ResetTimer()
+			row := 0
+			for done := 0; done < b.N; {
+				c := chunkRows
+				if row+c > n {
+					c = n - row
+				}
+				if done+c > b.N {
+					c = b.N - done
+				}
+				if arm == "batched" {
+					selectChunk(p, &p.w.Funcs[0], fl, fc, tree, valueCol, out, opt, agg, row, row+c)
+				} else {
+					for i := row; i < row+c; i++ {
+						ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
+						rw := p.orig(i)
+						sz := 0
+						for ri, r := range ranges {
+							sz += r[1] - r[0]
+							r64[ri] = [2]int64{int64(r[0]), int64(r[1])}
+						}
+						if sz == 0 {
+							out.setNull(rw)
+							continue
+						}
+						if pos, ok := tree.SelectKthRanges(r64[:len(ranges)], 0); ok {
+							out.copyFrom(valueCol, fl.orig(int(tree.Value(pos))), rw)
+						} else {
+							out.setNull(rw)
+						}
+					}
+				}
+				done += c
+				row += c
+				if row == n {
+					row = 0
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEvalMSTRunWarm measures a full Run with a warm structure cache —
 // the per-request cost a caching server pays after the first query: output
 // columns and per-partition bookkeeping, with all trees reused.

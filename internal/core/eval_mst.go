@@ -247,12 +247,17 @@ func evalDistinct(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder
 		if err != nil {
 			return err
 		}
-		return forEachRow(p, opt, func(lo, hi int) {
-			var scratch, mapped [3][2]int
-			for i := lo; i < hi; i++ {
-				ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
-				out.setInt(p.orig(i), int64(distinctCount(st.tree, st.prev, st.next, ranges)))
-			}
+		if opt.NoBatch {
+			return forEachRow(p, opt, func(lo, hi int) {
+				var scratch, mapped [3][2]int
+				for i := lo; i < hi; i++ {
+					ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
+					out.setInt(p.orig(i), int64(distinctCount(st.tree, st.prev, st.next, ranges)))
+				}
+			})
+		}
+		return runBatched(p, opt, func(lo, hi int, agg *batchAgg) {
+			distinctCountChunk(p, fl, fc, st.tree, st.prev, st.next, out, opt, agg, lo, hi)
 		})
 
 	case SumDistinct:
@@ -411,6 +416,11 @@ func evalRankFamily(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuild
 	}
 	keysAll, tree := st.keysAll, st.tree
 
+	if !opt.NoBatch {
+		return runBatched(p, opt, func(lo, hi int, agg *batchAgg) {
+			rankChunk(p, f, fl, fc, tree, keysAll, out, opt, agg, lo, hi)
+		})
+	}
 	return forEachRow(p, opt, func(lo, hi int) {
 		var scratch, mapped [3][2]int
 		for i := lo; i < hi; i++ {
@@ -580,6 +590,11 @@ func evalSelectFamily(p *partition, f *FuncSpec, fc *frame.Computer, out *outBui
 	}
 	tree := st.tree
 
+	if !opt.NoBatch {
+		return runBatched(p, opt, func(lo, hi int, agg *batchAgg) {
+			selectChunk(p, f, fl, fc, tree, valueCol, out, opt, agg, lo, hi)
+		})
+	}
 	return forEachRow(p, opt, func(lo, hi int) {
 		var scratch, mapped [3][2]int
 		var r64 [3][2]int64

@@ -70,6 +70,13 @@ type Options struct {
 	// allocation-behavior comparisons and as an escape hatch. The merge sort
 	// tree's own substrate is controlled separately by Tree.NoArena.
 	NoPool bool
+	// NoBatch opts out of the batched level-synchronous MST query kernels:
+	// the probe loop then evaluates every row with the scalar per-query
+	// descents of PR 4 and earlier. Results are byte-identical either way —
+	// enforced by the batch equivalence tests — so the flag exists for
+	// performance comparisons and as an escape hatch. DESIGN.md §10
+	// documents which functions the batched path covers.
+	NoBatch bool
 }
 
 func (o Options) taskSize() int {

@@ -128,15 +128,38 @@ func (at *AnnotatedTree[S]) CountBelow(lo, hi int, threshold int64) int {
 	return at.t.countBelow(lo, hi, ct)
 }
 
+// aggWalkFrame is one suspended partial run of the iterative aggregate
+// walk: the run's level, index and exact rank of the threshold, plus the
+// resumable child-scan cursor (cs, absolute position) and the run's end.
+type aggWalkFrame struct {
+	level, run, rank int32
+	cs, runEnd       int32
+}
+
 // AggBelow merges the aggregate states of all entries at positions [lo, hi)
 // whose key is strictly smaller than threshold. ok is false when no entry
 // qualifies (the SQL aggregate is then NULL).
+//
+// The walk visits the same run-prefix decomposition a count query produces
+// (§4.3), iteratively with an explicit stack of resumable frames: child
+// scans suspend when they descend into a partially covered child and resume
+// afterwards, so contributions merge in exactly the left-to-right recursion
+// order without allocating a visit closure per query.
 func (at *AnnotatedTree[S]) AggBelow(lo, hi int, threshold int64) (result S, ok bool) {
 	lo, hi, ct, valid := at.clip(lo, hi, threshold)
 	if !valid {
 		return result, false
 	}
-	at.t.walkBelow(lo, hi, ct, func(level, runStart, rank int) {
+	t := at.t
+	top := t.top()
+	rank := lowerBoundP(t.run(top, 0), ct)
+	if lo <= 0 && hi >= t.n {
+		if rank == 0 {
+			return result, false
+		}
+		return at.agg[top][rank-1], true
+	}
+	take := func(level, runStart, rank int) {
 		if rank == 0 {
 			return
 		}
@@ -146,7 +169,58 @@ func (at *AnnotatedTree[S]) AggBelow(lo, hi int, threshold int64) (result S, ok 
 		} else {
 			result = at.merge(result, part)
 		}
-	})
+	}
+	var stack [maxDescentStack]aggWalkFrame
+	runEnd := t.effLen[top]
+	if runEnd > t.n {
+		runEnd = t.n
+	}
+	stack[0] = aggWalkFrame{level: int32(top), run: 0, rank: int32(rank), cs: 0, runEnd: int32(runEnd)}
+	sp := 1
+	for sp > 0 {
+		fr := &stack[sp-1]
+		level := int(fr.level)
+		r := int(fr.run)
+		childLen := t.effLen[level-1]
+		runStart := r * t.effLen[level]
+		descended := false
+		for int(fr.cs) < int(fr.runEnd) {
+			cs := int(fr.cs)
+			ce := cs + childLen
+			if ce > int(fr.runEnd) {
+				ce = int(fr.runEnd)
+			}
+			c := (cs - runStart) / childLen
+			fr.cs = int32(cs + childLen)
+			if hi <= cs || lo >= ce {
+				continue
+			}
+			childRank := t.childRank(level, r, int(fr.rank), c, ct)
+			if lo <= cs && hi >= ce {
+				take(level-1, cs, childRank)
+				continue
+			}
+			if sp == len(stack) {
+				//lint:invariant at most two partial runs exist per level and trees have at most 32 levels, so the stack cannot exceed 2·33 frames
+				panic("mst: AggBelow walk stack overflow")
+			}
+			// cs is the partial child's run start; its end is clamped to n.
+			childEnd := cs + childLen
+			if childEnd > t.n {
+				childEnd = t.n
+			}
+			stack[sp] = aggWalkFrame{
+				level: int32(level - 1), run: int32(r*t.f + c), rank: int32(childRank),
+				cs: int32(cs), runEnd: int32(childEnd),
+			}
+			sp++
+			descended = true
+			break
+		}
+		if !descended && int(fr.cs) >= int(fr.runEnd) {
+			sp--
+		}
+	}
 	return result, ok
 }
 

@@ -2,6 +2,18 @@ package mst
 
 import "fmt"
 
+// maxDescentStack bounds the explicit stacks of the iterative descents.
+// A tree over n < 2³¹ elements with fanout f >= 2 has at most 32 merge
+// levels; a count descent keeps at most two partial runs per level alive
+// (the runs containing lo and hi-1), so 2·33 frames is a hard ceiling.
+const maxDescentStack = 72
+
+// descFrame is one pending partial run of an iterative descent: the run's
+// level and index, plus the exact number of its elements < threshold.
+type descFrame struct {
+	level, run, rank int32
+}
+
 // countBelow counts the elements at positions [lo, hi) of the base array
 // whose value is strictly smaller than threshold. Callers guarantee
 // 0 <= lo < hi <= n.
@@ -12,41 +24,54 @@ import "fmt"
 // fractional cascading the rank inside a child run is re-located inside a
 // window of at most k elements around the parent's sampled pointer
 // (Figure 3), so only the top-level binary search pays O(log n).
+//
+// The descent is iterative with an explicit stack: partially overlapped
+// runs are pushed and their children scanned when popped, so the hot query
+// path pays no call overhead per level. This is also the scalar fallback
+// the batched kernels (count_batch.go) degrade to under Options.NoBatch.
 func (t *tree[P]) countBelow(lo, hi int, threshold P) int {
 	top := t.top()
 	rank := lowerBoundP(t.run(top, 0), threshold)
-	return t.countDesc(top, 0, lo, hi, rank, threshold)
-}
-
-// countDesc counts elements < threshold at absolute base positions [lo, hi)
-// within run r of the given level. rank must be the exact number of
-// elements < threshold inside that run.
-func (t *tree[P]) countDesc(level, r, lo, hi, rank int, threshold P) int {
-	runStart := r * t.effLen[level]
-	runEnd := runStart + t.effLen[level]
-	if runEnd > t.n {
-		runEnd = t.n
-	}
-	if lo <= runStart && hi >= runEnd {
+	if lo <= 0 && hi >= t.n {
 		return rank
 	}
-	// A partially overlapped run is never a leaf: level-0 runs hold exactly
-	// one element and are either fully covered or skipped by the caller.
+	var stack [maxDescentStack]descFrame
+	stack[0] = descFrame{level: int32(top), run: 0, rank: int32(rank)}
+	sp := 1
 	total := 0
-	childLen := t.effLen[level-1]
-	for c, cs := 0, runStart; cs < runEnd; c, cs = c+1, cs+childLen {
-		ce := cs + childLen
-		if ce > runEnd {
-			ce = runEnd
+	for sp > 0 {
+		sp--
+		fr := stack[sp]
+		level := int(fr.level)
+		r := int(fr.run)
+		rank := int(fr.rank)
+		runStart := r * t.effLen[level]
+		runEnd := runStart + t.effLen[level]
+		if runEnd > t.n {
+			runEnd = t.n
 		}
-		if hi <= cs || lo >= ce {
-			continue
-		}
-		childRank := t.childRank(level, r, rank, c, threshold)
-		if lo <= cs && hi >= ce {
-			total += childRank
-		} else {
-			total += t.countDesc(level-1, r*t.f+c, lo, hi, childRank, threshold)
+		// A partially overlapped run is never a leaf: level-0 runs hold
+		// exactly one element and are either fully covered or skipped.
+		childLen := t.effLen[level-1]
+		for c, cs := 0, runStart; cs < runEnd; c, cs = c+1, cs+childLen {
+			ce := cs + childLen
+			if ce > runEnd {
+				ce = runEnd
+			}
+			if hi <= cs || lo >= ce {
+				continue
+			}
+			childRank := t.childRank(level, r, rank, c, threshold)
+			if lo <= cs && hi >= ce {
+				total += childRank
+			} else {
+				if sp == len(stack) {
+					//lint:invariant at most two partial runs exist per level and trees have at most 32 levels, so the stack cannot exceed 2·33 frames
+					panic("mst: countBelow descent stack overflow")
+				}
+				stack[sp] = descFrame{level: int32(level - 1), run: int32(r*t.f + c), rank: int32(childRank)}
+				sp++
+			}
 		}
 	}
 	return total
@@ -70,46 +95,6 @@ func (t *tree[P]) childRank(level, r, rank, c int, threshold P) int {
 		wHi = len(kid)
 	}
 	return base + lowerBoundP(kid[base:wHi], threshold)
-}
-
-// walkBelow invokes visit for every run contribution the count query for
-// (positions [lo, hi), values < threshold) decomposes into: visit receives
-// the level, the global index of the run's first element within that level's
-// array, and the number of qualifying elements, which form a prefix of the
-// run. The annotated tree merges per-run prefix aggregates at exactly these
-// points (§4.3).
-func (t *tree[P]) walkBelow(lo, hi int, threshold P, visit func(level, runStart, rank int)) {
-	top := t.top()
-	rank := lowerBoundP(t.run(top, 0), threshold)
-	t.walkDesc(top, 0, lo, hi, rank, threshold, visit)
-}
-
-func (t *tree[P]) walkDesc(level, r, lo, hi, rank int, threshold P, visit func(level, runStart, rank int)) {
-	runStart := r * t.effLen[level]
-	runEnd := runStart + t.effLen[level]
-	if runEnd > t.n {
-		runEnd = t.n
-	}
-	if lo <= runStart && hi >= runEnd {
-		visit(level, runStart, rank)
-		return
-	}
-	childLen := t.effLen[level-1]
-	for c, cs := 0, runStart; cs < runEnd; c, cs = c+1, cs+childLen {
-		ce := cs + childLen
-		if ce > runEnd {
-			ce = runEnd
-		}
-		if hi <= cs || lo >= ce {
-			continue
-		}
-		childRank := t.childRank(level, r, rank, c, threshold)
-		if lo <= cs && hi >= ce {
-			visit(level-1, cs, childRank)
-		} else {
-			t.walkDesc(level-1, r*t.f+c, lo, hi, childRank, threshold, visit)
-		}
-	}
 }
 
 // selectKth returns the base position of the i-th entry (0-based, in

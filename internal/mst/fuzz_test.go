@@ -5,8 +5,9 @@ import (
 	"testing"
 )
 
-// FuzzCountSelect cross-checks the tree's count and select queries against
-// brute force over fuzzer-chosen inputs, tree options and query arguments.
+// FuzzCountSelect cross-checks the tree's count and select queries —
+// scalar descents and the batched level-synchronous kernels — against brute
+// force over fuzzer-chosen inputs, tree options and query arguments.
 // CI runs it as a smoke pass on main pushes; `go test -fuzz=FuzzCountSelect
 // ./internal/mst/` digs deeper locally.
 func FuzzCountSelect(f *testing.F) {
@@ -65,6 +66,54 @@ func FuzzCountSelect(f *testing.F) {
 		}
 		if ok != wantOK || (ok && pos != wantPos) {
 			t.Errorf("SelectKth(0, %d, %d) = (%d, %v), brute force (%d, %v) (opt %+v)", threshold, k, pos, ok, wantPos, wantOK, opt)
+		}
+
+		// The batched kernels must agree with the brute force too. The batch
+		// repeats the query (exercising the dedup/gallop-from-equal shape),
+		// perturbs it (bidirectional galloping) and covers the full span.
+		bLo := []int32{int32(lo), int32(lo), 0, int32(lo + 1)}
+		bHi := []int32{int32(hi), int32(hi), int32(len(keys)), int32(hi + 3)}
+		bThr := []int64{threshold, threshold, threshold, threshold - 1}
+		bOut := make([]int32, len(bLo))
+		tree.CountBelowBatch(bLo, bHi, bThr, bOut)
+		for q := range bOut {
+			bruteCnt := 0
+			qLo, qHi := clampRange(int(bLo[q]), int(bHi[q]), len(keys))
+			for _, v := range keys[qLo:qHi] {
+				if v < bThr[q] {
+					bruteCnt++
+				}
+			}
+			if int(bOut[q]) != bruteCnt {
+				t.Errorf("CountBelowBatch query %d (%d, %d, %d) = %d, brute force %d (opt %+v)",
+					q, bLo[q], bHi[q], bThr[q], bOut[q], bruteCnt, opt)
+			}
+		}
+
+		sOff := []int32{0, 1, 2}
+		sVlo := []int64{0, 0}
+		sVhi := []int64{threshold, threshold}
+		sK := []int32{int32(k), int32(k)} // may wrap for huge k; the oracle below uses the wrapped value
+		sOut := make([]int32, 2)
+		tree.SelectKthRangesBatch(sOff, sVlo, sVhi, sK, sOut)
+		for q := range sOut {
+			wantB := int32(-1)
+			if kq := int(sK[q]); kq >= 0 {
+				seen := 0
+				for i, v := range keys {
+					if v >= 0 && v < threshold {
+						if seen == kq {
+							wantB = int32(i)
+							break
+						}
+						seen++
+					}
+				}
+			}
+			if sOut[q] != wantB {
+				t.Errorf("SelectKthRangesBatch query %d ([0,%d), k=%d) = %d, brute force %d (opt %+v)",
+					q, threshold, sK[q], sOut[q], wantB, opt)
+			}
 		}
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"holistic/internal/arena"
+	"holistic/internal/core"
 	"holistic/internal/obs"
 )
 
@@ -37,6 +38,8 @@ import (
 //	windowd_arena_allocated_bytes_total           counter (func)
 //	windowd_pool_{gets,puts,misses}_total{pool}   counter (func)
 //	windowd_pool_bytes_in_flight{pool}            gauge  (func)
+//	windowd_mst_batch_queries                     counter (func)
+//	windowd_mst_batch_dedup_hits                  counter (func)
 type serverObs struct {
 	reg *obs.Registry
 
@@ -144,6 +147,15 @@ func newServerObs(s *Server) *serverObs {
 	reg.NewCounterFunc("windowd_arena_resets_total",
 		"Arena resets (reuse of reserved chunks).", nil, func() []obs.Sample {
 			return []obs.Sample{{Value: float64(arena.ArenaSnapshot().Resets)}}
+		})
+
+	reg.NewCounterFunc("windowd_mst_batch_queries",
+		"Unique queries handed to the batched level-synchronous MST kernels (after adjacent-row dedup).", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(core.BatchSnapshot().Queries)}}
+		})
+	reg.NewCounterFunc("windowd_mst_batch_dedup_hits",
+		"Row evaluations answered by reusing the previous row's identical batched query set.", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(core.BatchSnapshot().DedupHits)}}
 		})
 
 	reg.NewCounterFunc("windowd_pool_gets_total",

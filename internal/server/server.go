@@ -389,6 +389,8 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	for _, ps := range arena.Snapshot() {
 		fmt.Fprintf(&b, "%s\n", ps)
 	}
+	bs := core.BatchSnapshot()
+	fmt.Fprintf(&b, "mst-batch: queries=%d dedup_hits=%d\n", bs.Queries, bs.DedupHits)
 	s.mu.RLock()
 	names := make([]*dataset, 0, len(s.datasets))
 	for _, ds := range s.datasets {

@@ -92,6 +92,14 @@ func WithoutPooling() Option {
 	return func(o *Options) { o.NoPool = true }
 }
 
+// WithoutBatching opts out of the batched level-synchronous merge-sort-tree
+// query kernels (Options.NoBatch): every row is then probed with the scalar
+// per-query descents. Results are byte-identical either way; the flag exists
+// for performance comparisons and as an escape hatch (DESIGN.md §10).
+func WithoutBatching() Option {
+	return func(o *Options) { o.NoBatch = true }
+}
+
 // WithEngine sets the run's default evaluation engine: it applies to every
 // function whose Engine was left at the zero value. The zero value is the
 // merge sort tree, so per-function competitor selections (Func.WithEngine)

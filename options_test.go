@@ -28,13 +28,14 @@ func TestNewOptionsFoldsFields(t *testing.T) {
 		holistic.WithTrace(root),
 		holistic.WithTaskSize(123),
 		holistic.WithoutPooling(),
+		holistic.WithoutBatching(),
 		holistic.WithEngine(holistic.EngineNaive),
 		holistic.WithParallelism(2),
 	)
 	if opt.Context != ctx || opt.Profile != &prof || opt.Trace != root {
 		t.Fatal("context/profile/trace options not applied")
 	}
-	if opt.TaskSize != 123 || !opt.NoPool || opt.DefaultEngine != holistic.EngineNaive || opt.Workers != 2 {
+	if opt.TaskSize != 123 || !opt.NoPool || !opt.NoBatch || opt.DefaultEngine != holistic.EngineNaive || opt.Workers != 2 {
 		t.Fatalf("options not applied: %+v", opt)
 	}
 }

@@ -50,7 +50,9 @@ hits2=$(num "$r2" cache_hits); misses2=$(num "$r2" cache_misses)
 [ "$hits2" -gt "$hits1" ]          || { echo "FAIL: repeat query did not hit the cache (hits $hits1 -> $hits2)"; exit 1; }
 [ "$misses2" -eq "$misses1" ]      || { echo "FAIL: repeat query rebuilt structures (misses $misses1 -> $misses2)"; exit 1; }
 
-curl -sf "$base/statusz" | grep -q "hits=$hits2" || { echo "FAIL: statusz does not report cache hits"; exit 1; }
+statusz=$(curl -sf "$base/statusz")
+printf '%s\n' "$statusz" | grep -q "hits=$hits2"  || { echo "FAIL: statusz does not report cache hits"; exit 1; }
+printf '%s\n' "$statusz" | grep -q 'mst-batch: queries=' || { echo "FAIL: statusz does not report batch kernel counters"; exit 1; }
 
 # Legacy unversioned aliases: still answering, marked deprecated.
 legacy_headers=$(curl -sf -D - -o /dev/null "$base/healthz")
@@ -58,6 +60,13 @@ printf '%s' "$legacy_headers" | grep -qi '^Deprecation: true' || { echo "FAIL: l
 printf '%s' "$legacy_headers" | grep -qi 'successor-version'  || { echo "FAIL: legacy /healthz lacks successor Link"; exit 1; }
 curl -sf "$base/query" -H 'Content-Type: application/json' -d "$query" | grep -q '"med"' \
     || { echo "FAIL: legacy /query alias does not answer"; exit 1; }
+
+# A default-frame query (RANGE UNBOUNDED..CURRENT ROW) over the repeating
+# date column: peer rows share one frame, so the batched kernels' adjacent-
+# row dedup must fire and show up in the metrics checked below.
+dedup_query='{"sql":"select count(distinct v) over (order by d) as cd2 from t"}'
+curl -sf "$base/v1/query" -H 'Content-Type: application/json' -d "$dedup_query" | grep -q '"cd2"' \
+    || { echo "FAIL: dedup query missing cd2 column"; exit 1; }
 
 # /v1/metrics: core series must be present and the counters non-zero.
 metrics=$(curl -sf "$base/v1/metrics")
@@ -74,6 +83,8 @@ for series in \
     'windowd_rows_returned_total' \
     'windowd_pool_gets_total' \
     'windowd_arena_arenas_total' \
+    'windowd_mst_batch_queries' \
+    'windowd_mst_batch_dedup_hits' \
     'windowd_uptime_seconds'
 do
     metric_positive "$series" || { echo "FAIL: metrics series missing or zero: $series"; printf '%s\n' "$metrics" | head -40; exit 1; }
