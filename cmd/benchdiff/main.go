@@ -6,13 +6,17 @@
 // Usage:
 //
 //	benchdiff [-threshold pct] [-markdown] old.txt new.txt
+//	benchdiff -snapshot out.json bench.txt
 //
 // scripts/benchcompare.sh drives it against the merge-base so CI can fail
-// pull requests that slow the hot paths down.
+// pull requests that slow the hot paths down, and uses -snapshot to record
+// each PR's medians as a machine-readable BENCH_<n>.json at the repo root
+// so the perf trajectory across the stacked PRs stays diffable.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,11 +30,26 @@ import (
 func main() {
 	threshold := flag.Float64("threshold", 10, "fail when ns/op regresses by more than this percentage")
 	markdown := flag.Bool("markdown", false, "emit a GitHub-flavored markdown table")
+	snapshot := flag.String("snapshot", "", "write per-benchmark medians of a single bench file to this JSON path and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] old.txt new.txt\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] old.txt new.txt\n       benchdiff -snapshot out.json bench.txt\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *snapshot != "" {
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		set, err := parseFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeSnapshot(*snapshot, set); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)
@@ -241,6 +260,38 @@ func render(w io.Writer, rows []Row, markdown bool) {
 	if len(ratios) >= 2 {
 		write("geomean", "ns/op", "", "", fmt.Sprintf("%+.1f%%", (geomean(ratios)-1)*100))
 	}
+}
+
+// SnapshotEntry is one benchmark's medians in the BENCH_<n>.json perf
+// trajectory the repo keeps per PR.
+type SnapshotEntry struct {
+	Name    string             `json:"name"`
+	Runs    int                `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// writeSnapshot records each benchmark's per-metric medians, sorted by
+// name so successive snapshots diff cleanly.
+func writeSnapshot(path string, set map[string]Samples) error {
+	entries := make([]SnapshotEntry, 0, len(set))
+	for name, samples := range set {
+		e := SnapshotEntry{Name: name, Metrics: make(map[string]float64, len(samples))}
+		for unit, values := range samples {
+			e.Metrics[unit] = median(values)
+			if len(values) > e.Runs {
+				e.Runs = len(values)
+			}
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	data, err := json.MarshalIndent(struct {
+		Benchmarks []SnapshotEntry `json:"benchmarks"`
+	}{entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func geomean(v []float64) float64 {

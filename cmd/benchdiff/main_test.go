@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -102,6 +105,43 @@ func TestRegressionsThreshold(t *testing.T) {
 	}
 	if got := regressions(rows, 25); len(got) != 0 {
 		t.Fatalf("regressions(25) = %+v, want none", got)
+	}
+}
+
+func TestWriteSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_0.json")
+	if err := writeSnapshot(path, parse(t, oldBench)); err != nil {
+		t.Fatalf("writeSnapshot: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Benchmarks []SnapshotEntry `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, data)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("%d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	// Sorted by name for stable diffs across PR snapshots.
+	for i := 1; i < len(snap.Benchmarks); i++ {
+		if snap.Benchmarks[i-1].Name >= snap.Benchmarks[i].Name {
+			t.Fatalf("benchmarks not sorted: %q before %q", snap.Benchmarks[i-1].Name, snap.Benchmarks[i].Name)
+		}
+	}
+	byName := map[string]SnapshotEntry{}
+	for _, e := range snap.Benchmarks {
+		byName[e.Name] = e
+	}
+	b := byName["BenchmarkBuild/n10000"]
+	if b.Metrics["ns/op"] != 1900000 {
+		t.Fatalf("build ns/op median = %v, want 1900000", b.Metrics["ns/op"])
+	}
+	if b.Metrics["allocs/op"] != 996 || b.Runs != 3 {
+		t.Fatalf("build allocs/runs = %v/%d, want 996/3", b.Metrics["allocs/op"], b.Runs)
 	}
 }
 

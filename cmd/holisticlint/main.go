@@ -1,17 +1,20 @@
 // Command holisticlint runs the repo's custom static-analysis suite (see
-// internal/analysis): parallelbody, nopanic, framebounds, sortstability
-// and lintdirective.
+// internal/analysis): the syntactic contract checks (parallelbody,
+// nopanic, framebounds, sortstability, lintdirective) and the
+// dataflow-powered lifecycle checks (poollifecycle, spanend, ctxflow,
+// narrowconv).
 //
 // Two modes:
 //
-//	holisticlint ./...                          standalone, from source
+//	holisticlint [-sarif out.sarif] ./...       standalone, from source
 //	go vet -vettool=$(which holisticlint) ./... as a vet driver
 //
 // The standalone mode type-checks the enclosing module from source (no
-// export data needed); the vet mode speaks cmd/go's -vettool protocol and
-// reuses the export data go vet provides, so it composes with build
-// caching. Both exit non-zero when findings are reported, which is what
-// the CI lint gate keys off.
+// export data needed) and can additionally write the findings as a SARIF
+// 2.1.0 log for CI annotation upload; the vet mode speaks cmd/go's
+// -vettool protocol and reuses the export data go vet provides, so it
+// composes with build caching. Both exit non-zero when findings are
+// reported, which is what the CI lint gate keys off.
 package main
 
 import (
@@ -50,7 +53,23 @@ func run(args []string) int {
 		return analysis.RunVet(analyzers, args[len(args)-1], os.Stderr)
 	}
 
-	patterns := args
+	sarifPath := ""
+	var patterns []string
+	for i := 0; i < len(args); i++ {
+		switch arg := args[i]; {
+		case arg == "-sarif" || arg == "--sarif":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "holisticlint: -sarif needs a file argument")
+				return 1
+			}
+			i++
+			sarifPath = args[i]
+		case strings.HasPrefix(arg, "-sarif="):
+			sarifPath = strings.TrimPrefix(arg, "-sarif=")
+		default:
+			patterns = append(patterns, arg)
+		}
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -59,21 +78,42 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	count, err := analysis.RunStandalone(analyzers, cwd, patterns, os.Stdout)
+	findings, err := analysis.CollectStandalone(analyzers, cwd, patterns)
+	for _, f := range findings {
+		fmt.Fprintf(os.Stdout, "%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if sarifPath != "" {
+		if werr := writeSARIF(sarifPath, analyzers, findings, cwd); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			return 1
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	if count > 0 {
-		fmt.Fprintf(os.Stderr, "holisticlint: %d finding(s)\n", count)
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "holisticlint: %d finding(s)\n", len(findings))
 		return 2
 	}
 	return 0
 }
 
+func writeSARIF(path string, analyzers []*analysis.Analyzer, findings []analysis.Finding, baseDir string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := analysis.WriteSARIF(f, analyzers, findings, baseDir); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func usage() {
 	fmt.Println(`usage:
-  holisticlint [packages]                       analyze packages (default ./...)
+  holisticlint [-sarif out.sarif] [packages]    analyze packages (default ./...)
   go vet -vettool=$(which holisticlint) ./...   run as a vet driver
 
 analyzers:`)

@@ -4,7 +4,7 @@
 // dependency of this repository).
 //
 // It exists to machine-check the contracts that keep the parallel
-// evaluation engines sound:
+// evaluation engines sound. The syntactic analyzers:
 //
 //   - parallelbody: closures handed to internal/parallel must only write
 //     state that is disjoint per task (§5.2's morsel-driven tasks share
@@ -18,8 +18,21 @@
 //     breaks without them.
 //   - lintdirective: the //lint: annotation grammar itself is validated.
 //
+// The path-sensitive analyzers, built on the CFG builder (subpackage cfg)
+// and the generic forward worklist solver (subpackage dataflow):
+//
+//   - poollifecycle: every pooled scratch buffer is put exactly once on
+//     every path, never used after put, never silently escaping.
+//   - spanend: every obs trace span is ended on every return/panic path
+//     and phase spans nest.
+//   - ctxflow: request-path parallel loops stay cancellable; handler
+//     paths never manufacture detached contexts.
+//   - narrowconv: int->int32/uint32 narrowing in the MST kernels is
+//     dominated by a bounds guard or routed through audited helpers.
+//
 // The suite is wired into cmd/holisticlint, which runs either standalone
-// (`holisticlint ./...`) or as a `go vet -vettool=` backend.
+// (`holisticlint [-sarif out.sarif] ./...`) or as a `go vet -vettool=`
+// backend.
 package analysis
 
 import (

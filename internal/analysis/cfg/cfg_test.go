@@ -1,0 +1,351 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"holistic/internal/analysis/cfg"
+)
+
+// load parses and type-checks src (a complete file body for package p) and
+// returns the file and type info.
+func load(t *testing.T, src string) (*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "test.go", "package p\n\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:  map[ast.Expr]types.TypeAndValue{},
+		Defs:   map[*ast.Ident]types.Object{},
+		Uses:   map[*ast.Ident]types.Object{},
+		Scopes: map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return file, info
+}
+
+// graphFor builds the CFG of the named function.
+func graphFor(t *testing.T, src, name string) *cfg.Graph {
+	t.Helper()
+	file, info := load(t, src)
+	for _, g := range cfg.FileGraphs(file, info) {
+		if fd, ok := g.Func.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return g
+		}
+	}
+	t.Fatalf("no graph for %s", name)
+	return nil
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(g *cfg.Graph) map[*cfg.Block]bool {
+	seen := map[*cfg.Block]bool{g.Entry: true}
+	work := []*cfg.Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range b.Succs {
+			if !seen[e.To] {
+				seen[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// blockOf returns the reachable block whose printed nodes contain marker.
+func blockOf(t *testing.T, g *cfg.Graph, marker string) *cfg.Block {
+	t.Helper()
+	for b := range reachable(g) {
+		for _, n := range b.Nodes {
+			if id, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := id.X.(*ast.CallExpr); ok {
+					if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == marker {
+						return b
+					}
+				}
+			}
+		}
+	}
+	t.Fatalf("no reachable block calls %s", marker)
+	return nil
+}
+
+const panicSrc = `
+func f(bad bool) int {
+	if bad {
+		panic("boom")
+	}
+	return 1
+}
+`
+
+func TestPanicEdge(t *testing.T) {
+	g := graphFor(t, panicSrc, "f")
+	if len(g.PanicExit.Preds) != 1 {
+		t.Fatalf("PanicExit has %d preds, want 1", len(g.PanicExit.Preds))
+	}
+	r := reachable(g)
+	if !r[g.Exit] || !r[g.PanicExit] {
+		t.Fatalf("exit reachable=%v panic-exit reachable=%v, want both", r[g.Exit], r[g.PanicExit])
+	}
+}
+
+const deadCodeSrc = `
+func mark() {}
+func dead() {}
+
+func f() int {
+	mark()
+	return 1
+	dead()
+	return 2
+}
+`
+
+func TestReturnMakesCodeUnreachable(t *testing.T) {
+	g := graphFor(t, deadCodeSrc, "f")
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Fatal("exit not reachable")
+	}
+	for b := range r {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "dead" {
+						t.Fatal("statement after return is reachable")
+					}
+				}
+			}
+		}
+	}
+}
+
+const condSrc = `
+func f(v int) int {
+	if v < 10 {
+		return v
+	}
+	return 0
+}
+`
+
+// Branch edges carry the condition so dataflow refinement can see it.
+func TestBranchEdgesCarryCond(t *testing.T) {
+	g := graphFor(t, condSrc, "f")
+	var kinds []cfg.EdgeKind
+	for b := range reachable(g) {
+		for _, e := range b.Succs {
+			if e.Cond == nil {
+				continue
+			}
+			bin, ok := e.Cond.(*ast.BinaryExpr)
+			if !ok || bin.Op != token.LSS {
+				t.Fatalf("cond edge carries %T, want the v < 10 comparison", e.Cond)
+			}
+			kinds = append(kinds, e.Kind)
+		}
+	}
+	if len(kinds) != 2 || kinds[0] == kinds[1] {
+		t.Fatalf("cond edge kinds %v, want one True and one False", kinds)
+	}
+}
+
+const labeledSrc = `
+func mark() {}
+func after() {}
+
+func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 1 {
+				continue outer
+			}
+			if j == 2 {
+				break outer
+			}
+			mark()
+		}
+	}
+	after()
+}
+`
+
+func TestLabeledLoopTargets(t *testing.T) {
+	g := graphFor(t, labeledSrc, "f")
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Fatal("exit not reachable through the labeled loops")
+	}
+	// after() runs on every completion path, so its block must be reachable,
+	// and the inner body (mark) too.
+	blockOf(t, g, "after")
+	blockOf(t, g, "mark")
+	// break outer must bypass the outer post statement: the after block has
+	// at least two reachable predecessor edges (loop-exit and break).
+	ab := blockOf(t, g, "after")
+	preds := 0
+	for _, e := range ab.Preds {
+		if r[e.From] {
+			preds++
+		}
+	}
+	if preds < 2 {
+		t.Fatalf("after() has %d reachable pred edges, want >= 2 (cond exit + break outer)", preds)
+	}
+}
+
+const gotoSrc = `
+func mark() {}
+
+func f(n int) {
+again:
+	n--
+	mark()
+	if n > 0 {
+		goto again
+	}
+}
+`
+
+func TestGotoBackEdge(t *testing.T) {
+	g := graphFor(t, gotoSrc, "f")
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Fatal("exit not reachable")
+	}
+	// The goto creates a cycle: the marked block must be its own ancestor.
+	mb := blockOf(t, g, "mark")
+	seen := map[*cfg.Block]bool{}
+	var walk func(b *cfg.Block) bool
+	walk = func(b *cfg.Block) bool {
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, e := range b.Succs {
+			if e.To == mb || walk(e.To) {
+				return true
+			}
+		}
+		return false
+	}
+	if !walk(mb) {
+		t.Fatal("goto back edge missing: mark block is not on a cycle")
+	}
+}
+
+const spliceSrc = `
+func run(fn func()) { fn() }
+func mark() {}
+
+func f() {
+	run(func() {
+		mark()
+	})
+}
+
+func g() {
+	h := func() { mark() }
+	h()
+}
+`
+
+// Literals passed directly as call arguments are spliced into the caller's
+// graph; literals bound to variables are separate roots.
+func TestFuncLitSplicing(t *testing.T) {
+	file, info := load(t, spliceSrc)
+	graphs := cfg.FileGraphs(file, info)
+	var fg *cfg.Graph
+	roots := 0
+	for _, gr := range graphs {
+		if fd, ok := gr.Func.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			fg = gr
+		}
+		if _, ok := gr.Func.(*ast.FuncLit); ok {
+			roots++
+		}
+	}
+	if fg == nil {
+		t.Fatal("no graph for f")
+	}
+	if len(fg.Spliced) != 1 {
+		t.Fatalf("f spliced %d literals, want 1", len(fg.Spliced))
+	}
+	// mark() from the spliced literal is visible in f's own graph.
+	blockOf(t, fg, "mark")
+	// g's variable-bound literal is its own root, not spliced anywhere.
+	if roots != 1 {
+		t.Fatalf("%d literal roots, want 1 (the var-bound literal in g)", roots)
+	}
+}
+
+const shallowSrc = `
+func f() {
+	_ = func() { inner() }
+	outer()
+}
+func inner() {}
+func outer() {}
+`
+
+func TestInspectShallow(t *testing.T) {
+	file, _ := load(t, shallowSrc)
+	var names []string
+	ast.Inspect(file, func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != "f" {
+			return true
+		}
+		cfg.InspectShallow(fd.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				names = append(names, id.Name)
+			}
+			return true
+		})
+		return false
+	})
+	joined := strings.Join(names, " ")
+	if strings.Contains(joined, "inner") {
+		t.Fatalf("InspectShallow descended into a function literal: %v", names)
+	}
+	if !strings.Contains(joined, "outer") {
+		t.Fatalf("InspectShallow missed top-level idents: %v", names)
+	}
+}
+
+const deferSrc = `
+func cleanup() {}
+
+func f() {
+	defer cleanup()
+	cleanup()
+}
+`
+
+func TestDeferStaysANode(t *testing.T) {
+	g := graphFor(t, deferSrc, "f")
+	defers := 0
+	for b := range reachable(g) {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				defers++
+			}
+		}
+	}
+	if defers != 1 {
+		t.Fatalf("%d defer nodes reachable, want 1", defers)
+	}
+}

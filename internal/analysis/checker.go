@@ -2,20 +2,28 @@ package analysis
 
 import (
 	"fmt"
+	"go/token"
 	"io"
 	"path/filepath"
 	"strings"
 )
 
-// RunStandalone loads the requested packages of the enclosing module from
-// source, applies the analyzers, and prints findings to out in the usual
-// file:line:col format. It returns the number of findings. Patterns are
-// `./...` (every package of the module containing dir) or package
-// directories relative to dir.
-func RunStandalone(analyzers []*Analyzer, dir string, patterns []string, out io.Writer) (int, error) {
+// Finding is one diagnostic with its position resolved, ready for text or
+// SARIF rendering.
+type Finding struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+// CollectStandalone loads the requested packages of the enclosing module
+// from source, applies the analyzers, and returns the findings in package
+// then position order. Patterns are `./...` (every package of the module
+// containing dir) or package directories relative to dir.
+func CollectStandalone(analyzers []*Analyzer, dir string, patterns []string) ([]Finding, error) {
 	root, modPath, err := FindModule(dir)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	loader := NewLoader(root, modPath)
 
@@ -31,7 +39,7 @@ func RunStandalone(analyzers []*Analyzer, dir string, patterns []string, out io.
 		if pat == "./..." || pat == "..." {
 			all, err := loader.ModulePackages()
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			for _, p := range all {
 				add(p)
@@ -40,11 +48,11 @@ func RunStandalone(analyzers []*Analyzer, dir string, patterns []string, out io.
 		}
 		abs, err := filepath.Abs(filepath.Join(dir, pat))
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		rel, err := filepath.Rel(root, abs)
 		if err != nil || strings.HasPrefix(rel, "..") {
-			return 0, fmt.Errorf("analysis: %s is outside module %s", pat, modPath)
+			return nil, fmt.Errorf("analysis: %s is outside module %s", pat, modPath)
 		}
 		if rel == "." {
 			add(modPath)
@@ -53,16 +61,29 @@ func RunStandalone(analyzers []*Analyzer, dir string, patterns []string, out io.
 		}
 	}
 
-	count := 0
+	var findings []Finding
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
-			return count, err
+			return findings, err
 		}
 		for _, d := range RunPackage(analyzers, pkg.Fset, pkg.Files, pkg.Types, pkg.Info) {
-			fmt.Fprintf(out, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
-			count++
+			findings = append(findings, Finding{
+				Pos:      pkg.Fset.Position(d.Pos),
+				Message:  d.Message,
+				Analyzer: d.Analyzer,
+			})
 		}
 	}
-	return count, nil
+	return findings, nil
+}
+
+// RunStandalone is CollectStandalone plus the usual file:line:col text
+// rendering to out. It returns the number of findings.
+func RunStandalone(analyzers []*Analyzer, dir string, patterns []string, out io.Writer) (int, error) {
+	findings, err := CollectStandalone(analyzers, dir, patterns)
+	for _, f := range findings {
+		fmt.Fprintf(out, "%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+	}
+	return len(findings), err
 }

@@ -1,0 +1,185 @@
+// Package ctxflow enforces cooperative cancellation on the request path:
+// long-running loops in internal/core, internal/server and
+// internal/parallel must remain cancellable, because a disconnected client
+// whose query keeps burning every core is the exact failure mode the
+// context plumbing of PR 4 exists to prevent.
+//
+// Three rules, all scoped by import-path suffix:
+//
+//   - blocking-loop: a call to parallel.For, parallel.ForEach or
+//     parallel.Run (the cancellation-blind entry points) from a function
+//     where a context.Context is reachable — as a parameter or local of
+//     any enclosing function, or as a field of an in-scope struct value
+//     such as core.Options — must use the *Context variant instead.
+//   - nil-context: passing a literal nil context to parallel.ForContext
+//     or parallel.ForEachContext while a context is reachable disables
+//     cancellation the caller went out of its way to provide.
+//   - fresh-context: context.Background() or context.TODO() inside
+//     internal/server manufactures a context detached from the request;
+//     handler paths must thread r.Context() instead.
+//
+// Exceptions annotate `//lint:ctxflow-ok <reason>`; the reason is
+// mandatory. The analysis is reachability-based, not path-based: it asks
+// "could this call site have threaded a context", which is a property of
+// scopes, not of branches.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"holistic/internal/analysis"
+)
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "reports cancellation-blind parallel loops, nil contexts and fresh Background/TODO contexts on the request path",
+	Run:  run,
+}
+
+// loopPkgSuffixes are the packages whose parallel loops must be
+// cancellable.
+var loopPkgSuffixes = []string{"internal/core", "internal/server", "internal/parallel"}
+
+// serverPkgSuffix scopes the fresh-context rule to handler code.
+const serverPkgSuffix = "internal/server"
+
+// parallelPkgSuffix identifies the loop substrate.
+const parallelPkgSuffix = "internal/parallel"
+
+// blind maps the cancellation-blind entry points to their context-aware
+// replacements.
+var blind = map[string]string{
+	"For":     "ForContext",
+	"ForEach": "ForEachContext",
+	"Run":     "ForEachContext",
+}
+
+// ctxTakers are the entry points taking a context as first argument.
+var ctxTakers = map[string]bool{"ForContext": true, "ForEachContext": true}
+
+func run(pass *analysis.Pass) error {
+	pkgPath := pass.Pkg.Path()
+	inLoopPkgs := hasAnySuffix(pkgPath, loopPkgSuffixes)
+	inServer := strings.HasSuffix(pkgPath, serverPkgSuffix)
+	if !inLoopPkgs && !inServer {
+		pass.ReportBareDirectives(analysis.DirectiveCtxFlowOK)
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case inLoopPkgs && strings.HasSuffix(fn.Pkg().Path(), parallelPkgSuffix):
+				if repl, isBlind := blind[fn.Name()]; isBlind {
+					if ctxReachable(pass, call) {
+						report(pass, call, "parallel.%s ignores the context reachable here; use parallel.%s so the loop stays cancellable (//lint:ctxflow-ok <reason>)", fn.Name(), repl)
+					}
+				} else if ctxTakers[fn.Name()] && len(call.Args) > 0 && isNil(call.Args[0]) {
+					if ctxReachable(pass, call) {
+						report(pass, call, "nil context passed to parallel.%s while a context is reachable; thread it so the loop stays cancellable (//lint:ctxflow-ok <reason>)", fn.Name())
+					}
+				}
+			case inServer && fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO"):
+				report(pass, call, "context.%s on a handler path detaches the work from the request; thread the request context instead (//lint:ctxflow-ok <reason>)", fn.Name())
+			}
+			return true
+		})
+	}
+	pass.ReportBareDirectives(analysis.DirectiveCtxFlowOK)
+	return nil
+}
+
+func report(pass *analysis.Pass, call *ast.CallExpr, format string, args ...any) {
+	if _, ok := pass.Suppression(call.Pos(), analysis.DirectiveCtxFlowOK); ok {
+		return
+	}
+	pass.Reportf(call.Pos(), format, args...)
+}
+
+// ctxReachable reports whether a context.Context could have been threaded
+// to the call: some variable in scope at the call — a parameter or local
+// of any enclosing function — either is a context.Context or is a struct
+// (or pointer to one) carrying a context.Context field, like
+// core.Options.
+func ctxReachable(pass *analysis.Pass, call *ast.CallExpr) bool {
+	scope := pass.Pkg.Scope().Innermost(call.Pos())
+	for ; scope != nil && scope != pass.Pkg.Scope(); scope = scope.Parent() {
+		for _, name := range scope.Names() {
+			obj, ok := scope.Lookup(name).(*types.Var)
+			if !ok || obj.Pos() > call.Pos() {
+				continue
+			}
+			if isCtxType(obj.Type()) || carriesCtxField(obj.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil &&
+		(obj.Pkg().Path() == "context" || strings.HasSuffix(obj.Pkg().Path(), "/context"))
+}
+
+// carriesCtxField reports whether t is a struct (or pointer to one) with
+// a context.Context field.
+func carriesCtxField(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isCtxType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func hasAnySuffix(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,17 @@
+// Package core is under the blocking-loop rule but not the fresh-context
+// rule (Background outside handler code is the operator's own business).
+package core
+
+import (
+	"context"
+
+	"holistic/internal/parallel"
+)
+
+func blindLoopWithCtx(ctx context.Context, n int) {
+	parallel.For(n, 1, func(lo, hi int) {}) // want "ignores the context reachable here"
+}
+
+func backgroundAllowedOutsideServer() context.Context {
+	return context.Background()
+}

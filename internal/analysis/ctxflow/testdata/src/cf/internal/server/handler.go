@@ -1,0 +1,90 @@
+// Package server exercises the request-path cancellation rules: the
+// import-path suffix puts it under both the blocking-loop and the
+// fresh-context rule.
+package server
+
+import (
+	"context"
+
+	"holistic/internal/parallel"
+)
+
+func consume(...any) {}
+
+// --- blocking-loop rule ---
+
+func blindLoopWithCtxParam(ctx context.Context, n int) {
+	parallel.For(n, 1, func(lo, hi int) {}) // want "ignores the context reachable here"
+}
+
+func blindForEachWithCtxParam(ctx context.Context, n int) {
+	parallel.ForEach(n, func(i int) {}) // want "ignores the context reachable here"
+}
+
+func blindRunWithCtxParam(ctx context.Context) {
+	parallel.Run(func() {}, func() {}) // want "ignores the context reachable here"
+}
+
+func threadedLoop(ctx context.Context, n int) error {
+	return parallel.ForContext(ctx, n, 1, func(lo, hi int) {})
+}
+
+// No context is reachable here, so the blind loop is allowed.
+func noCtxReachable(n int) {
+	parallel.For(n, 1, func(lo, hi int) {})
+}
+
+// A local declared after the call does not count as reachable.
+func ctxDeclaredAfter(n int) {
+	parallel.For(n, 1, func(lo, hi int) {})
+	ctx := context.TODO() // want "detaches the work from the request"
+	consume(ctx)
+}
+
+// options carries a context field, like core.Options: reachability sees
+// through the struct.
+type options struct {
+	Ctx   context.Context
+	Limit int
+}
+
+func blindLoopWithCarrier(opt options, n int) {
+	parallel.For(n, 1, func(lo, hi int) {}) // want "ignores the context reachable here"
+}
+
+func blindLoopWithCarrierPtr(opt *options, n int) {
+	parallel.ForEach(n, func(i int) {}) // want "ignores the context reachable here"
+}
+
+// A context local of the enclosing function is reachable inside literals.
+func blindLoopInsideClosure(ctx context.Context, n int) func() {
+	return func() {
+		parallel.For(n, 1, func(lo, hi int) {}) // want "ignores the context reachable here"
+	}
+}
+
+// --- nil-context rule ---
+
+func nilCtxWhileReachable(ctx context.Context, n int) {
+	_ = parallel.ForContext(nil, n, 1, func(lo, hi int) {}) // want "nil context passed to parallel.ForContext"
+}
+
+func nilCtxNoneReachable(n int) {
+	_ = parallel.ForContext(nil, n, 1, func(lo, hi int) {})
+}
+
+// --- fresh-context rule ---
+
+func freshBackground() context.Context {
+	return context.Background() // want "detaches the work from the request"
+}
+
+func annotatedDetach() context.Context {
+	//lint:ctxflow-ok the janitor loop is process-scoped by design and must survive request cancellation
+	return context.Background()
+}
+
+func bareDirective() context.Context {
+	//lint:ctxflow-ok // want "needs a justification"
+	return context.Background()
+}

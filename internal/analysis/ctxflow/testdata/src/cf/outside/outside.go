@@ -1,0 +1,14 @@
+// Package outside is not on the request path: no rule applies, whatever
+// the loops do.
+package outside
+
+import (
+	"context"
+
+	"holistic/internal/parallel"
+)
+
+func blindLoopUnscoped(ctx context.Context, n int) {
+	parallel.For(n, 1, func(lo, hi int) {})
+	_ = context.Background()
+}

@@ -1,0 +1,106 @@
+// Package dataflow is a generic forward dataflow solver over the control
+// flow graphs of package cfg. An analyzer describes its lattice through
+// the Problem interface — the choice of Join makes it a may-analysis
+// (union: "held on some path") or a must-analysis (intersection: "guarded
+// on every path") — and Solve iterates the classic worklist algorithm to a
+// fixpoint. Walk then replays the transfer function over the solved graph
+// so check phases can ask "what holds immediately before this node".
+//
+// Termination is the implementation's contract with the Problem: facts
+// must form a finite-height lattice and Transfer/Refine/Join must be
+// monotone. All analyzer facts here are finite sets keyed by declared
+// variables, which bounds the chain height by the function's variable
+// count.
+package dataflow
+
+import (
+	"go/ast"
+
+	"holistic/internal/analysis/cfg"
+)
+
+// Problem describes one forward dataflow analysis. Implementations must
+// treat facts as immutable: Transfer, Refine and Join return fresh values
+// (or an unchanged input) and never mutate their arguments — Solve caches
+// and re-joins facts across worklist iterations.
+type Problem[F any] interface {
+	// Entry is the fact at function entry.
+	Entry() F
+	// Transfer applies the effect of one block node.
+	Transfer(fact F, n ast.Node) F
+	// Refine specializes a fact along an outgoing edge (e.g. using
+	// e.Cond on True/False edges). Return fact unchanged when the edge
+	// adds no information.
+	Refine(fact F, e *cfg.Edge) F
+	// Join combines facts where control-flow paths meet.
+	Join(a, b F) F
+	// Equal reports whether two facts are equal; Solve uses it to detect
+	// the fixpoint.
+	Equal(a, b F) bool
+}
+
+// Solve runs the forward worklist algorithm to fixpoint and returns the
+// fact holding at entry to each reachable block. Unreachable blocks
+// (including dead blocks the CFG builder leaves behind after return/panic)
+// have no entry in the map.
+func Solve[F any](g *cfg.Graph, p Problem[F]) map[*cfg.Block]F {
+	in := map[*cfg.Block]F{g.Entry: p.Entry()}
+	work := []*cfg.Block{g.Entry}
+	queued := map[*cfg.Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := in[blk]
+		for _, n := range blk.Nodes {
+			out = p.Transfer(out, n)
+		}
+		for _, e := range blk.Succs {
+			f := p.Refine(out, e)
+			old, seen := in[e.To]
+			next := f
+			if seen {
+				next = p.Join(old, f)
+			}
+			if seen && p.Equal(old, next) {
+				continue
+			}
+			in[e.To] = next
+			if !queued[e.To] {
+				queued[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return in
+}
+
+// Walk replays the transfer function over every reachable block, calling
+// visit with the fact in force immediately before each node. Check phases
+// use it to report against the solved facts.
+func Walk[F any](g *cfg.Graph, p Problem[F], in map[*cfg.Block]F, visit func(b *cfg.Block, fact F, n ast.Node)) {
+	for _, blk := range g.Blocks {
+		f, ok := in[blk]
+		if !ok {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			visit(blk, f, n)
+			f = p.Transfer(f, n)
+		}
+	}
+}
+
+// Out recomputes the fact at the end of a reachable block. ok is false for
+// unreachable blocks.
+func Out[F any](p Problem[F], in map[*cfg.Block]F, b *cfg.Block) (F, bool) {
+	f, ok := in[b]
+	if !ok {
+		var zero F
+		return zero, false
+	}
+	for _, n := range b.Nodes {
+		f = p.Transfer(f, n)
+	}
+	return f, true
+}

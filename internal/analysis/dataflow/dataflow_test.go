@@ -1,0 +1,289 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"maps"
+	"testing"
+
+	"holistic/internal/analysis/cfg"
+	"holistic/internal/analysis/dataflow"
+)
+
+func graphFor(t *testing.T, src, name string) (*cfg.Graph, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "test.go", "package p\n\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:  map[ast.Expr]types.TypeAndValue{},
+		Defs:   map[*ast.Ident]types.Object{},
+		Uses:   map[*ast.Ident]types.Object{},
+		Scopes: map[ast.Node]*types.Scope{},
+	}
+	if _, err := (&types.Config{}).Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, g := range cfg.FileGraphs(file, info) {
+		if fd, ok := g.Func.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return g, info
+		}
+	}
+	t.Fatalf("no graph for %s", name)
+	return nil, nil
+}
+
+// mayAssign is a may-analysis: the set of variable names assigned on some
+// path. Join is union.
+type mayAssign struct{}
+
+type strset = map[string]bool
+
+func (mayAssign) Entry() strset          { return nil }
+func (mayAssign) Equal(a, b strset) bool { return maps.Equal(a, b) }
+
+func (mayAssign) Join(a, b strset) strset {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := maps.Clone(a)
+	maps.Copy(out, b)
+	return out
+}
+
+func (mayAssign) Refine(f strset, e *cfg.Edge) strset { return f }
+
+func (mayAssign) Transfer(f strset, n ast.Node) strset {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return f
+	}
+	out := maps.Clone(f)
+	if out == nil {
+		out = strset{}
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			out[id.Name] = true
+		}
+	}
+	return out
+}
+
+const branchLoopSrc = `
+func f(cond bool, n int) {
+	a := 1
+	if cond {
+		b := 2
+		_ = b
+	} else {
+		c := 3
+		_ = c
+	}
+	for i := 0; i < n; i++ {
+		d := 4
+		_ = d
+	}
+	_ = a
+}
+`
+
+func TestMayUnionAcrossBranchesAndLoop(t *testing.T) {
+	g, _ := graphFor(t, branchLoopSrc, "f")
+	in := dataflow.Solve[strset](g, mayAssign{})
+	exit, ok := in[g.Exit]
+	if !ok {
+		t.Fatal("exit has no in-fact")
+	}
+	for _, want := range []string{"a", "b", "c", "d", "i"} {
+		if !exit[want] {
+			t.Fatalf("exit fact %v is missing %q", exit, want)
+		}
+	}
+}
+
+const cycleSrc = `
+func f(n int) {
+	x := 0
+loop:
+	x++
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j > i {
+				continue
+			}
+			x = j
+		}
+	}
+	if x < n {
+		goto loop
+	}
+}
+`
+
+// The solver must reach a fixpoint on nested loops plus a goto back edge;
+// a non-monotone or non-terminating worklist would hang or miss blocks.
+func TestFixpointTerminationOnCycles(t *testing.T) {
+	g, _ := graphFor(t, cycleSrc, "f")
+	in := dataflow.Solve[strset](g, mayAssign{})
+	exit := in[g.Exit]
+	for _, want := range []string{"x", "i", "j"} {
+		if !exit[want] {
+			t.Fatalf("exit fact %v is missing %q", exit, want)
+		}
+	}
+}
+
+// mustGuard is a must-analysis with edge refinement: a variable is
+// "guarded" when every path to the point passed the true edge of a
+// comparison naming it. Join is intersection.
+type mustGuard struct{ info *types.Info }
+
+func (mustGuard) Entry() strset          { return nil }
+func (mustGuard) Equal(a, b strset) bool { return maps.Equal(a, b) }
+
+func (mustGuard) Join(a, b strset) strset {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := strset{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func (m mustGuard) Refine(f strset, e *cfg.Edge) strset {
+	if e.Kind != cfg.True || e.Cond == nil {
+		return f
+	}
+	bin, ok := e.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return f
+	}
+	id, ok := bin.X.(*ast.Ident)
+	if !ok {
+		return f
+	}
+	out := maps.Clone(f)
+	if out == nil {
+		out = strset{}
+	}
+	out[id.Name] = true
+	return out
+}
+
+func (mustGuard) Transfer(f strset, n ast.Node) strset { return f }
+
+const guardSrc = `
+func allPaths(v int) int {
+	if v < 10 {
+		return v
+	}
+	return 0
+}
+
+func onePath(v int, cond bool) int {
+	if cond {
+		if v < 10 {
+			_ = v
+		} else {
+			return 0
+		}
+	}
+	return v
+}
+`
+
+func TestMustIntersectionWithRefinement(t *testing.T) {
+	g, info := graphFor(t, guardSrc, "allPaths")
+	in := dataflow.Solve[strset](g, mustGuard{info})
+	// Exit joins the guarded return v with the unguarded return 0 path —
+	// but both returns flow to Exit; only the True-edge path is guarded,
+	// so the intersection drops v.
+	if exit := in[g.Exit]; exit["v"] {
+		t.Fatalf("exit fact %v should not keep v: the else path never guarded it", exit)
+	}
+	// Inside the then-branch, v must be guarded: find the in-fact of the
+	// block holding `return v`.
+	found := false
+	for b, f := range in {
+		for _, n := range b.Nodes {
+			if r, ok := n.(*ast.ReturnStmt); ok && len(r.Results) == 1 {
+				if id, ok := r.Results[0].(*ast.Ident); ok && id.Name == "v" {
+					found = true
+					if !f["v"] {
+						t.Fatalf("return v in-fact %v lost the guard from the true edge", f)
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no block holds `return v`")
+	}
+
+	g2, _ := graphFor(t, guardSrc, "onePath")
+	in2 := dataflow.Solve[strset](g2, mustGuard{info})
+	// The final `return v` merges the guarded inner path with the
+	// cond-false path that never compared v: must-join drops the guard.
+	for b, f := range in2 {
+		for _, n := range b.Nodes {
+			if r, ok := n.(*ast.ReturnStmt); ok && len(r.Results) == 1 {
+				if id, ok := r.Results[0].(*ast.Ident); ok && id.Name == "v" && f["v"] {
+					t.Fatalf("return v in-fact %v kept the guard across an unguarded path", f)
+				}
+			}
+		}
+	}
+}
+
+// TestWalkReplaysSolve checks Walk presents each node exactly once with
+// the fact the solver computed, and that Out recomputes block exits
+// consistently with successors' joins.
+func TestWalkReplaysSolve(t *testing.T) {
+	g, _ := graphFor(t, branchLoopSrc, "f")
+	p := mayAssign{}
+	in := dataflow.Solve[strset](g, p)
+	visited := map[ast.Node]int{}
+	dataflow.Walk[strset](g, p, in, func(b *cfg.Block, f strset, n ast.Node) {
+		visited[n]++
+		// The walk fact can never exceed what flows out of the block.
+		out, ok := dataflow.Out[strset](p, in, b)
+		if !ok {
+			t.Fatalf("walked block has no in-fact")
+		}
+		for name := range f {
+			if !out[name] {
+				t.Fatalf("walk fact %v not contained in block out-fact %v", f, out)
+			}
+		}
+	})
+	total := 0
+	for b := range in {
+		total += len(b.Nodes)
+	}
+	if len(visited) == 0 {
+		t.Fatal("walk visited nothing")
+	}
+	for n, c := range visited {
+		if c != 1 {
+			t.Fatalf("node %T visited %d times", n, c)
+		}
+	}
+	if len(visited) != total {
+		t.Fatalf("walk visited %d nodes, reachable blocks hold %d", len(visited), total)
+	}
+}

@@ -30,25 +30,34 @@ type Directive struct {
 }
 
 // Directive names understood by the suite. Suppression directives require
-// a justification; markers do not.
+// a justification; so does narrowconv-entry, which blesses a whole audited
+// helper. parallel-entry is the only bare marker.
 const (
-	DirectiveParallelSafe  = "parallel-safe"
-	DirectiveParallelEntry = "parallel-entry"
-	DirectiveInvariant     = "invariant"
-	DirectiveFrameBoundsOK = "framebounds-ok"
-	DirectiveSortStableOK  = "sortstability-ok"
-	DirectivePoolAliasOK   = "poolalias-ok"
+	DirectiveParallelSafe    = "parallel-safe"
+	DirectiveParallelEntry   = "parallel-entry"
+	DirectiveInvariant       = "invariant"
+	DirectiveFrameBoundsOK   = "framebounds-ok"
+	DirectiveSortStableOK    = "sortstability-ok"
+	DirectivePoolLifecycleOK = "poollifecycle-ok"
+	DirectiveSpanEndOK       = "spanend-ok"
+	DirectiveCtxFlowOK       = "ctxflow-ok"
+	DirectiveNarrowConvOK    = "narrowconv-ok"
+	DirectiveNarrowConvEntry = "narrowconv-entry"
 )
 
 // KnownDirectives maps every understood directive name to whether it
 // requires a justification string.
 var KnownDirectives = map[string]bool{
-	DirectiveParallelSafe:  true,
-	DirectiveParallelEntry: false,
-	DirectiveInvariant:     true,
-	DirectiveFrameBoundsOK: true,
-	DirectiveSortStableOK:  true,
-	DirectivePoolAliasOK:   true,
+	DirectiveParallelSafe:    true,
+	DirectiveParallelEntry:   false,
+	DirectiveInvariant:       true,
+	DirectiveFrameBoundsOK:   true,
+	DirectiveSortStableOK:    true,
+	DirectivePoolLifecycleOK: true,
+	DirectiveSpanEndOK:       true,
+	DirectiveCtxFlowOK:       true,
+	DirectiveNarrowConvOK:    true,
+	DirectiveNarrowConvEntry: true,
 }
 
 const directivePrefix = "//lint:"

@@ -1,0 +1,362 @@
+// Package narrowconv guards the 32-bit narrowing conversions in the batch
+// kernels' SoA paths (internal/mst) and the operator plumbing above them
+// (internal/core). The merge sort tree stores 32-bit elements whenever the
+// payload domain fits (§5.1), so index and threshold values cross from int
+// to int32/uint32 at many kernel boundaries; on a >2³¹-row dataset an
+// unguarded conversion would wrap silently and return wrong counts rather
+// than fail.
+//
+// The analyzer runs a must-dataflow over the function's CFG: a conversion
+// int32(v)/uint32(v) from a wider integer type is safe only when, on
+// every path reaching it, v is
+//
+//   - guarded: a dominating comparison against a constant bounds it
+//     (the false edge of `v > math.MaxInt32`, the true edge of
+//     `v <= math.MaxInt32`, a cond-less switch case edge — package cfg
+//     lowers those to refinable if-chains); or
+//   - narrow: assigned from a value that provably fits (a constant in
+//     range, a widening of an at-most-32-bit value, a copy of a
+//     guarded/narrow variable).
+//
+// Values are non-negative by domain (§5.1 preprocesses payloads into
+// [0, n]), so only upper bounds are checked; a lower-bound analysis would
+// add noise without catching a real wrap.
+//
+// Everything else must either go through an audited funnel helper whose
+// declaration carries `//lint:narrowconv-entry <reason>` (the helper's
+// body is exempt; the reason documents why the quantity fits — e.g.
+// mst.Build rejects inputs of 2³¹ elements or more, so tree positions
+// fit), or annotate the site with `//lint:narrowconv-ok <reason>`.
+package narrowconv
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"maps"
+	"math"
+	"strings"
+
+	"holistic/internal/analysis"
+	"holistic/internal/analysis/cfg"
+	"holistic/internal/analysis/dataflow"
+)
+
+// Analyzer is the narrowconv analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "narrowconv",
+	Doc:  "reports unguarded int->int32/uint32 narrowing conversions in the merge-sort-tree kernels and the core operator",
+	Run:  run,
+}
+
+// pkgSuffixes scopes the analyzer to the kernel and operator packages.
+var pkgSuffixes = []string{"internal/mst", "internal/core"}
+
+// state is the per-variable must-fact: properties holding on every path.
+type state uint8
+
+const (
+	guarded state = 1 << iota // a dominating comparison bounds it by <= math.MaxInt32
+	narrow                    // assigned from a value that provably fits 32 bits
+)
+
+type fact map[types.Object]state
+
+func run(pass *analysis.Pass) error {
+	if !hasAnySuffix(pass.Pkg.Path(), pkgSuffixes) {
+		pass.ReportBareDirectives(analysis.DirectiveNarrowConvOK)
+		pass.ReportBareDirectives(analysis.DirectiveNarrowConvEntry)
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, g := range cfg.FileGraphs(file, pass.TypesInfo) {
+			if fd, ok := g.Func.(*ast.FuncDecl); ok {
+				if _, exempt := pass.Suppression(fd.Pos(), analysis.DirectiveNarrowConvEntry); exempt {
+					continue // audited funnel: the body is the guard
+				}
+			}
+			analyzeGraph(pass, g)
+		}
+	}
+	pass.ReportBareDirectives(analysis.DirectiveNarrowConvOK)
+	pass.ReportBareDirectives(analysis.DirectiveNarrowConvEntry)
+	return nil
+}
+
+type problem struct{ pass *analysis.Pass }
+
+func (p problem) Entry() fact          { return nil }
+func (p problem) Equal(a, b fact) bool { return maps.Equal(a, b) }
+
+// Join intersects: a property must hold on every incoming path.
+func (p problem) Join(a, b fact) fact {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := fact{}
+	for o, sa := range a {
+		if s := sa & b[o]; s != 0 {
+			out[o] = s
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func set(f fact, o types.Object, s state) fact {
+	if f[o] == s {
+		return f
+	}
+	nf := make(fact, len(f)+1)
+	maps.Copy(nf, f)
+	nf[o] = s
+	return nf
+}
+
+func del(f fact, o types.Object) fact {
+	if _, ok := f[o]; !ok {
+		return f
+	}
+	nf := maps.Clone(f)
+	delete(nf, o)
+	return nf
+}
+
+// Refine adds guard facts along comparison edges.
+func (p problem) Refine(f fact, e *cfg.Edge) fact {
+	if e.Cond == nil || (e.Kind != cfg.True && e.Kind != cfg.False) {
+		return f
+	}
+	bin, ok := ast.Unparen(e.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return f
+	}
+	// Normalize to ident OP constant.
+	id, _ := ast.Unparen(bin.X).(*ast.Ident)
+	cval, haveC := constVal(p.pass, bin.Y)
+	op := bin.Op
+	if id == nil || !haveC {
+		if id, _ = ast.Unparen(bin.Y).(*ast.Ident); id == nil {
+			return f
+		}
+		if cval, haveC = constVal(p.pass, bin.X); !haveC {
+			return f
+		}
+		op = flip(op)
+	}
+	obj := p.pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return f
+	}
+	// Which comparison holds along this edge?
+	if e.Kind == cfg.False {
+		op = negate(op)
+	}
+	max := constant.MakeInt64(math.MaxInt32)
+	bounded := false
+	switch op {
+	case token.LSS: // v < c: bounded when c <= MaxInt32+1
+		bounded = constant.Compare(cval, token.LEQ, constant.MakeInt64(math.MaxInt32+1))
+	case token.LEQ, token.EQL: // v <= c, v == c: bounded when c <= MaxInt32
+		bounded = constant.Compare(cval, token.LEQ, max)
+	}
+	if !bounded {
+		return f
+	}
+	return set(f, obj, f[obj]|guarded)
+}
+
+// flip mirrors a comparison when its operands swap sides.
+func flip(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+// negate inverts a comparison for the false edge.
+func negate(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return op
+}
+
+func (p problem) Transfer(f fact, n ast.Node) fact {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+			// Compound update: the bound no longer holds.
+			for _, lhs := range n.Lhs {
+				if obj := identObj(p.pass, lhs); obj != nil {
+					f = del(f, obj)
+				}
+			}
+			return f
+		}
+		if len(n.Lhs) != len(n.Rhs) {
+			for _, lhs := range n.Lhs {
+				if obj := identObj(p.pass, lhs); obj != nil {
+					f = del(f, obj)
+				}
+			}
+			return f
+		}
+		for i := range n.Lhs {
+			obj := identObj(p.pass, n.Lhs[i])
+			if obj == nil {
+				continue
+			}
+			if s := p.classify(f, n.Rhs[i]); s != 0 {
+				f = set(f, obj, s)
+			} else {
+				f = del(f, obj)
+			}
+		}
+		return f
+	case *ast.IncDecStmt:
+		if obj := identObj(p.pass, n.X); obj != nil {
+			f = del(f, obj)
+		}
+		return f
+	}
+	return f
+}
+
+// classify reports the must-state an assignment from expr establishes.
+func (p problem) classify(f fact, expr ast.Expr) state {
+	expr = ast.Unparen(expr)
+	if cval, ok := constVal(p.pass, expr); ok {
+		if inInt32Range(cval) {
+			return narrow
+		}
+		return 0
+	}
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if obj := p.pass.TypesInfo.ObjectOf(e); obj != nil {
+			return f[obj]
+		}
+	case *ast.CallExpr:
+		// A widening conversion like int(x16) of an at-most-32-bit
+		// signed-compatible value stays narrow.
+		if len(e.Args) != 1 {
+			return 0
+		}
+		tv, ok := p.pass.TypesInfo.Types[e.Fun]
+		if !ok || !tv.IsType() {
+			return 0
+		}
+		if src, ok := p.pass.TypesInfo.TypeOf(e.Args[0]).Underlying().(*types.Basic); ok {
+			switch src.Kind() {
+			case types.Int8, types.Int16, types.Int32, types.Uint8, types.Uint16:
+				return narrow
+			}
+		}
+	}
+	return 0
+}
+
+func analyzeGraph(pass *analysis.Pass, g *cfg.Graph) {
+	p := problem{pass}
+	in := dataflow.Solve[fact](g, p)
+	dataflow.Walk[fact](g, p, in, func(_ *cfg.Block, f fact, n ast.Node) {
+		cfg.InspectShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkConversion(pass, f, call)
+			return true
+		})
+	})
+}
+
+// checkConversion reports an int32/uint32 conversion from a wider integer
+// whose operand is not provably bounded.
+func checkConversion(pass *analysis.Pass, f fact, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || (dst.Kind() != types.Int32 && dst.Kind() != types.Uint32) {
+		return
+	}
+	operand := ast.Unparen(call.Args[0])
+	src, ok := pass.TypesInfo.TypeOf(operand).Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	switch src.Kind() {
+	case types.Int, types.Int64, types.Uint, types.Uint64:
+	default:
+		return // already at most 32 bits (or not an integer)
+	}
+	if cval, ok := constVal(pass, operand); ok && inInt32Range(cval) {
+		return
+	}
+	if id, ok := operand.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil && f[obj] != 0 {
+			return // guarded or narrow on every path
+		}
+	}
+	if _, ok := pass.Suppression(call.Pos(), analysis.DirectiveNarrowConvOK); ok {
+		return
+	}
+	pass.Reportf(call.Pos(), "unguarded narrowing conversion to %s: a >2³¹ value would wrap silently; bound the value first, route it through an audited //lint:narrowconv-entry helper, or annotate //lint:narrowconv-ok <reason>", dst.Name())
+}
+
+func identObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(id)
+}
+
+func constVal(pass *analysis.Pass, e ast.Expr) (constant.Value, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return nil, false
+	}
+	return tv.Value, true
+}
+
+func inInt32Range(v constant.Value) bool {
+	return constant.Compare(v, token.GEQ, constant.MakeInt64(math.MinInt32)) &&
+		constant.Compare(v, token.LEQ, constant.MakeInt64(math.MaxInt32))
+}
+
+func hasAnySuffix(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}

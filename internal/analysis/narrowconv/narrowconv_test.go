@@ -1,0 +1,12 @@
+package narrowconv_test
+
+import (
+	"testing"
+
+	"holistic/internal/analysis/analysistest"
+	"holistic/internal/analysis/narrowconv"
+)
+
+func TestNarrowConv(t *testing.T) {
+	analysistest.Run(t, "testdata", narrowconv.Analyzer, "nc/internal/mst", "nc/outside")
+}

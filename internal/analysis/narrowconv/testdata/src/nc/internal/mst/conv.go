@@ -1,0 +1,186 @@
+// Package mst exercises the narrowing-conversion guard: the import-path
+// suffix puts it in the analyzer's scope.
+package mst
+
+import "math"
+
+func sink(...any) {}
+
+// --- unguarded conversions ---
+
+func unguarded(v int) int32 {
+	return int32(v) // want "unguarded narrowing conversion to int32"
+}
+
+func unguardedUint(v uint64) uint32 {
+	return uint32(v) // want "unguarded narrowing conversion to uint32"
+}
+
+func unguardedInt64(v int64) int32 {
+	return int32(v) // want "unguarded narrowing conversion to int32"
+}
+
+// Conversions from at-most-32-bit sources never narrow.
+func alreadyNarrow(v int32, w int16) {
+	sink(int32(v), int32(w), uint32(uint16(9)))
+}
+
+func constantInRange() int32 {
+	return int32(1 << 20)
+}
+
+// --- guard refinement ---
+
+func guardedByEarlyOut(v int) int32 {
+	if v > math.MaxInt32 {
+		return 0
+	}
+	return int32(v)
+}
+
+func guardedOnTrueEdge(v int) int32 {
+	if v <= math.MaxInt32 {
+		return int32(v)
+	}
+	return 0
+}
+
+func guardedStrictLess(v int) int32 {
+	if v < math.MaxInt32+1 {
+		return int32(v)
+	}
+	return 0
+}
+
+func guardSwappedOperands(v int) int32 {
+	if math.MaxInt32 >= v {
+		return int32(v)
+	}
+	return 0
+}
+
+// The guard constant itself must fit: bounding by a >2³¹ constant proves
+// nothing.
+func guardTooLoose(v int) int32 {
+	if v <= math.MaxInt32+1 {
+		return int32(v) // want "unguarded narrowing conversion to int32"
+	}
+	return 0
+}
+
+// A cond-less switch lowers to a refinable if-chain, so its case edges
+// guard like ifs (the count_batch.go threshold-clamp shape).
+func guardedBySwitch(v int64) int32 {
+	switch {
+	case v <= 0:
+		return 0
+	case v > math.MaxInt32:
+		return math.MaxInt32
+	default:
+		return int32(v)
+	}
+}
+
+// --- must-join: every path has to establish the bound ---
+
+func guardOnOnePathOnly(v int, cond bool) int32 {
+	if cond {
+		if v > math.MaxInt32 {
+			return 0
+		}
+	}
+	return int32(v) // want "unguarded narrowing conversion to int32"
+}
+
+func guardOnBothPaths(v int, cond bool) int32 {
+	if cond {
+		if v > math.MaxInt32 {
+			return 0
+		}
+	} else {
+		if v > 100 {
+			return 0
+		}
+	}
+	return int32(v)
+}
+
+// --- narrow sources and copy propagation ---
+
+func narrowSource(small int16) int32 {
+	v := int(small)
+	return int32(v)
+}
+
+func copyPropagation(v int) int32 {
+	if v > math.MaxInt32 {
+		return 0
+	}
+	w := v
+	return int32(w)
+}
+
+// --- kills ---
+
+func reassignKills(v, u int) int32 {
+	if v > math.MaxInt32 {
+		return 0
+	}
+	v = u
+	return int32(v) // want "unguarded narrowing conversion to int32"
+}
+
+func incrementKills(v int) int32 {
+	if v > math.MaxInt32 {
+		return 0
+	}
+	v++
+	return int32(v) // want "unguarded narrowing conversion to int32"
+}
+
+func compoundAssignKills(v, u int) int32 {
+	if v > math.MaxInt32 {
+		return 0
+	}
+	v += u
+	return int32(v) // want "unguarded narrowing conversion to int32"
+}
+
+// A loop back-edge joins the incremented value into the guard, killing it
+// (the fixpoint must not let the pre-loop guard leak through).
+func loopKills(v int) int32 {
+	if v > math.MaxInt32 {
+		return 0
+	}
+	var acc int32
+	for i := 0; i < 3; i++ {
+		acc += int32(v) // want "unguarded narrowing conversion to int32"
+		v++
+	}
+	return acc
+}
+
+// --- funnels and directives ---
+
+// i32 is this package's audited funnel: the body is exempt because the
+// declaration carries the entry directive.
+//
+//lint:narrowconv-entry testdata funnel: callers prove the bound
+func i32(v int) int32 { return int32(v) }
+
+func throughFunnel(v int) int32 {
+	return i32(v)
+}
+
+func annotatedSite(v int) int32 {
+	//lint:narrowconv-ok the caller masked v to 20 bits
+	return int32(v)
+}
+
+func bareOKDirective(v int) int32 {
+	//lint:narrowconv-ok // want "needs a justification"
+	return int32(v)
+}
+
+//lint:narrowconv-entry // want "needs a justification"
+func bareEntryDirective(v int) int32 { return int32(v) }

@@ -1,0 +1,12 @@
+package poollifecycle_test
+
+import (
+	"testing"
+
+	"holistic/internal/analysis/analysistest"
+	"holistic/internal/analysis/poollifecycle"
+)
+
+func TestPoolLifecycle(t *testing.T) {
+	analysistest.Run(t, "testdata", poollifecycle.Analyzer, "pl/internal/core")
+}

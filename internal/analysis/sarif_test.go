@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+func TestWriteSARIF(t *testing.T) {
+	analyzers := []*Analyzer{
+		{Name: "poollifecycle", Doc: "check pooled buffer lifecycles"},
+		{Name: "spanend", Doc: "check span End on every path"},
+	}
+	findings := []Finding{
+		{
+			Pos:      token.Position{Filename: "/repo/internal/mst/build.go", Line: 42, Column: 7},
+			Message:  "buffer b is not returned to the pool on every path",
+			Analyzer: "poollifecycle",
+		},
+		{
+			Pos:      token.Position{Filename: "/repo/internal/core/eval.go", Line: 9, Column: 2},
+			Message:  "span eval is not ended on every return path",
+			Analyzer: "spanend",
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, analyzers, findings, "/repo"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	// The output must be valid JSON in the SARIF 2.1.0 shape CI uploads.
+	var log struct {
+		Version string `json:"version"`
+		Schema  string `json:"$schema"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	if log.Version != "2.1.0" {
+		t.Fatalf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("%d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "holisticlint" {
+		t.Fatalf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 2 {
+		t.Fatalf("%d rules, want one per analyzer", len(run.Tool.Driver.Rules))
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	if !ruleIDs["poollifecycle"] || !ruleIDs["spanend"] {
+		t.Fatalf("rule ids %v missing an analyzer", ruleIDs)
+	}
+
+	if len(run.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "poollifecycle" {
+		t.Fatalf("first result ruleId = %q", first.RuleID)
+	}
+	if first.Message.Text == "" {
+		t.Fatal("first result has an empty message")
+	}
+	if len(first.Locations) != 1 {
+		t.Fatalf("first result has %d locations, want 1", len(first.Locations))
+	}
+	loc := first.Locations[0].PhysicalLocation
+	// URIs are relativized against baseDir so the artifact links resolve
+	// inside the repository checkout, not the runner's filesystem.
+	if loc.ArtifactLocation.URI != "internal/mst/build.go" {
+		t.Fatalf("uri = %q, want repo-relative internal/mst/build.go", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 42 || loc.Region.StartColumn != 7 {
+		t.Fatalf("region = %d:%d, want 42:7", loc.Region.StartLine, loc.Region.StartColumn)
+	}
+}
+
+func TestWriteSARIFNoFindings(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil, nil, ""); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log struct {
+		Runs []struct {
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// An empty run still needs a non-null results array: the upload action
+	// rejects `"results": null`.
+	if len(log.Runs) != 1 || log.Runs[0].Results == nil {
+		t.Fatalf("empty run must keep results []: %s", buf.String())
+	}
+}

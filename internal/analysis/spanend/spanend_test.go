@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"holistic/internal/analysis/analysistest"
+	"holistic/internal/analysis/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, "testdata", spanend.Analyzer, "se/a")
+}

@@ -5,22 +5,28 @@ package suite
 
 import (
 	"holistic/internal/analysis"
+	"holistic/internal/analysis/ctxflow"
 	"holistic/internal/analysis/framebounds"
 	"holistic/internal/analysis/lintdirective"
+	"holistic/internal/analysis/narrowconv"
 	"holistic/internal/analysis/nopanic"
 	"holistic/internal/analysis/parallelbody"
-	"holistic/internal/analysis/poolalias"
+	"holistic/internal/analysis/poollifecycle"
 	"holistic/internal/analysis/sortstability"
+	"holistic/internal/analysis/spanend"
 )
 
 // All returns the full analyzer suite in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
 		framebounds.Analyzer,
 		lintdirective.Analyzer,
+		narrowconv.Analyzer,
 		nopanic.Analyzer,
 		parallelbody.Analyzer,
-		poolalias.Analyzer,
+		poollifecycle.Analyzer,
 		sortstability.Analyzer,
+		spanend.Analyzer,
 	}
 }

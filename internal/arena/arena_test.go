@@ -114,7 +114,7 @@ func TestPoolGetPut(t *testing.T) {
 func TestPoolPutRejectsGrownBuffers(t *testing.T) {
 	p := NewPool[int32]("test-grown")
 	s := p.Get(4)
-	s = append(s, 1, 2, 3, 4, 5) //lint:poolalias-ok deliberately growing past the class to test that Put drops it
+	s = append(s, 1, 2, 3, 4, 5) //lint:poollifecycle-ok deliberately growing past the class to test that Put drops it
 	p.Put(s)
 	if cap(s) == 8 {
 		t.Skip("append stayed within a class boundary on this runtime")

@@ -16,7 +16,7 @@ const maxClass = 26
 // Pool is a size-classed free list of []T scratch buffers backed by one
 // sync.Pool per power-of-two capacity class. Get returns a buffer of the
 // requested length (contents unspecified); Put recycles it. Pools are safe
-// for concurrent use; buffers must not be used after Put — the poolalias
+// for concurrent use; buffers must not be used after Put — the poollifecycle
 // lint analyzer additionally rejects append on pooled buffers, which could
 // silently grow past the class capacity and escape the pool.
 //
@@ -82,7 +82,7 @@ func (p *Pool[T]) GetZeroed(n int) []T {
 
 // Put returns a buffer obtained from Get to the pool. Buffers whose
 // capacity is not an exact class size (e.g. grown by append, which the
-// poolalias analyzer flags) or that exceed the largest class are dropped.
+// poollifecycle analyzer flags) or that exceed the largest class are dropped.
 // Put of a nil or empty-capacity buffer is a no-op.
 func (p *Pool[T]) Put(buf []T) {
 	c := cap(buf)

@@ -119,12 +119,12 @@ func distinctCountChunk(p *partition, fl *filtered, fc *frame.Computer, tree *ms
 			forEachFullyExcluded(prev, next, ranges, func(int) { adj++ })
 		}
 		if a == pa && d == pd {
-			rowSlot[ri] = int32(s - 1)
+			rowSlot[ri] = i32(s - 1)
 			dedup++
 		} else {
-			qlo[s], qhi[s] = int32(a), int32(d)
+			qlo[s], qhi[s] = i32(a), i32(d)
 			qthr[s] = int64(a) + 1
-			rowSlot[ri] = int32(s)
+			rowSlot[ri] = i32(s)
 			s++
 			pa, pd = a, d
 		}
@@ -181,9 +181,9 @@ func rankChunk(p *partition, f *FuncSpec, fl *filtered, fc *frame.Computer, tree
 			rowSlot[ri], rowN[ri] = rowSlot[ri-1], rowN[ri-1]
 			dedup++
 		} else {
-			rowSlot[ri], rowN[ri] = int32(s), int32(len(ranges))
+			rowSlot[ri], rowN[ri] = i32(s), i32(len(ranges))
 			for _, r := range ranges {
-				qlo[s], qhi[s] = int32(r[0]), int32(r[1])
+				qlo[s], qhi[s] = i32(r[0]), i32(r[1])
 				qthr[s] = thr
 				s++
 			}
@@ -207,7 +207,7 @@ func rankChunk(p *partition, f *FuncSpec, fl *filtered, fc *frame.Computer, tree
 				size = -1
 			}
 		}
-		rowSize[ri] = int32(size)
+		rowSize[ri] = i32(size)
 	}
 
 	tree.CountBelowBatch(qlo[:s], qhi[:s], qthr[:s], qout[:s])
@@ -273,12 +273,12 @@ func selectChunk(p *partition, f *FuncSpec, fl *filtered, fc *frame.Computer, tr
 	s, w, dedup := 0, 0, 0
 	off[0] = 0
 	emit := func(ranges [][2]int, k int) {
-		qk[s] = int32(k)
+		qk[s] = i32(k)
 		for _, r := range ranges {
 			vlo[w], vhi[w] = int64(r[0]), int64(r[1])
 			w++
 		}
-		off[s+1] = int32(w)
+		off[s+1] = i32(w)
 		s++
 	}
 	for i := lo; i < hi; i++ {
@@ -294,7 +294,7 @@ func selectChunk(p *partition, f *FuncSpec, fl *filtered, fc *frame.Computer, tr
 		for _, r := range ranges {
 			size += r[1] - r[0]
 		}
-		rowSize[ri] = int32(size)
+		rowSize[ri] = i32(size)
 		if size == 0 {
 			rowSlot[ri], rowN[ri] = -1, 0
 			continue

@@ -42,7 +42,7 @@ func keptOrder(fl *filtered, sortedAll []int32, buf []int32) []int32 {
 	w := 0
 	for _, pos := range sortedAll {
 		if fl.kept(int(pos)) {
-			out[w] = int32(fl.toFiltered(int(pos)))
+			out[w] = i32(fl.toFiltered(int(pos)))
 			w++
 		}
 	}

@@ -1,0 +1,11 @@
+package core
+
+// i32 is the audited narrowing funnel for row-bounded quantities: sorted
+// positions, partition-local indices, batch query slots and range bounds.
+// Run rejects tables with math.MaxInt32 or more rows before any evaluation
+// starts, so every quantity derived from a row count fits int32 exactly.
+// Narrowing conversions outside this funnel are flagged by the narrowconv
+// analyzer; keep new ones routed through here (or prove a local bound).
+//
+//lint:narrowconv-entry every row index, batch slot and range bound is bounded by Run's math.MaxInt32 row cap
+func i32(v int) int32 { return int32(v) }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 
 	"holistic/internal/mst"
@@ -109,6 +110,9 @@ func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
 	opt.Profile.attach(root)
 	opt.trace = root
 	n := t.Rows()
+	if n >= math.MaxInt32 {
+		return nil, fmt.Errorf("core: table has %d rows; row indices are represented as int32, capping a run at %d rows", n, math.MaxInt32-1)
+	}
 	root.SetInt("rows", int64(n))
 	root.SetInt("functions", int64(len(w.Funcs)))
 	if opt.Workers > 0 {

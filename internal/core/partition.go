@@ -268,6 +268,7 @@ func (p *partition) includeMask(f *FuncSpec, dropNullCol string, opt Options) []
 		}
 		mask[i] = keep
 	}
+	//lint:poollifecycle-ok documented hand-off: the caller owns the mask and puts it back via Options.putBools
 	return mask
 }
 

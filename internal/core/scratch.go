@@ -10,7 +10,7 @@ import "holistic/internal/arena"
 // Only true temporaries may come from these helpers: anything retained
 // beyond the call — cached structures, Remap internals, output columns —
 // must be allocated with make, because pooled buffers are recycled by other
-// requests after put. The poolalias analyzer additionally forbids growing a
+// requests after put. The poollifecycle analyzer additionally forbids growing a
 // pooled buffer with append.
 
 func (o Options) getInt32s(n int) []int32 {

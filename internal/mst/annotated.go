@@ -175,7 +175,7 @@ func (at *AnnotatedTree[S]) AggBelow(lo, hi int, threshold int64) (result S, ok 
 	if runEnd > t.n {
 		runEnd = t.n
 	}
-	stack[0] = aggWalkFrame{level: int32(top), run: 0, rank: int32(rank), cs: 0, runEnd: int32(runEnd)}
+	stack[0] = aggWalkFrame{level: i32(top), run: 0, rank: i32(rank), cs: 0, runEnd: i32(runEnd)}
 	sp := 1
 	for sp > 0 {
 		fr := &stack[sp-1]
@@ -191,7 +191,7 @@ func (at *AnnotatedTree[S]) AggBelow(lo, hi int, threshold int64) (result S, ok 
 				ce = int(fr.runEnd)
 			}
 			c := (cs - runStart) / childLen
-			fr.cs = int32(cs + childLen)
+			fr.cs = i32(cs + childLen)
 			if hi <= cs || lo >= ce {
 				continue
 			}
@@ -210,8 +210,8 @@ func (at *AnnotatedTree[S]) AggBelow(lo, hi int, threshold int64) (result S, ok 
 				childEnd = t.n
 			}
 			stack[sp] = aggWalkFrame{
-				level: int32(level - 1), run: int32(r*t.f + c), rank: int32(childRank),
-				cs: int32(cs), runEnd: int32(childEnd),
+				level: i32(level - 1), run: i32(r*t.f + c), rank: i32(childRank),
+				cs: i32(cs), runEnd: i32(childEnd),
 			}
 			sp++
 			descended = true

@@ -187,8 +187,10 @@ func mergeScratch[P payload](f int, noPool bool) ([]int32, []P) {
 	}
 	buf := arena.Int32s.Get(6 * f)
 	if p := payloadPool[P](); p != nil {
+		//lint:poollifecycle-ok mergeScratch is the acquire half of a documented pair; putMergeScratch returns both buffers
 		return buf, p.Get(f)
 	}
+	//lint:poollifecycle-ok mergeScratch is the acquire half of a documented pair; putMergeScratch returns both buffers
 	return buf, make([]P, f)
 }
 
@@ -255,11 +257,12 @@ func (t *tree[P]) mergeRunParallel(level, r int, samples []int32, stride, worker
 		flat = make([]int32, (pieces+1)*m)
 	} else {
 		flat = arena.Int32s.Get((pieces + 1) * m)
+		defer arena.Int32s.Put(flat)
 	}
 	clear(flat[:m])
 	last := flat[pieces*m : (pieces+1)*m]
 	for c := 0; c < m; c++ {
-		last[c] = int32(len(childRunOf(childData, childLen, c)))
+		last[c] = i32(len(childRunOf(childData, childLen, c)))
 	}
 	for p := 1; p < pieces; p++ {
 		findSplitInto(flat[p*m:(p+1)*m], childData, childLen, m, length*p/pieces)
@@ -280,9 +283,6 @@ func (t *tree[P]) mergeRunParallel(level, r int, samples []int32, stride, worker
 			buf, vals, sampleRun, t0, t1)
 		putMergeScratch(noPool, buf, vals)
 	})
-	if !noPool {
-		arena.Int32s.Put(flat)
-	}
 }
 
 // maxPayload is the largest value of P, used as the exhausted-run sentinel.
@@ -344,16 +344,16 @@ func (t *tree[P]) mergePiece(out []P, childData []P, childLen, m int, split []in
 		if stop > len(childData) {
 			stop = len(childData)
 		}
-		cursor[c] = int32(start)
+		cursor[c] = i32(start)
 		if split != nil {
 			cursor[c] += split[c]
 		}
-		end[c] = int32(stop)
+		end[c] = i32(stop)
 	}
 	writeSample := func(row int) {
 		base := row * f
 		for c := 0; c < m; c++ {
-			sampleRun[base+c] = cursor[c] - int32(c*childLen)
+			sampleRun[base+c] = cursor[c] - i32(c*childLen)
 		}
 	}
 	if m == 1 {
@@ -362,13 +362,13 @@ func (t *tree[P]) mergePiece(out []P, childData []P, childLen, m int, split []in
 		if sampleRun != nil {
 			for p := t0; p < t1; p++ {
 				if p%k == 0 {
-					sampleRun[(p/k)*f] = int32(c0)
+					sampleRun[(p/k)*f] = i32(c0)
 				}
 				out[p] = childData[c0]
 				c0++
 			}
 			if t1 == len(out) && t1%k == 0 {
-				sampleRun[(t1/k)*f] = int32(c0)
+				sampleRun[(t1/k)*f] = i32(c0)
 			}
 		} else {
 			copy(out[t0:t1], childData[c0:c0+(t1-t0)])
@@ -382,15 +382,15 @@ func (t *tree[P]) mergePiece(out []P, childData []P, childLen, m int, split []in
 	for c := 0; c < m; c++ {
 		if cursor[c] < end[c] {
 			vals[c] = childData[cursor[c]]
-			tb[c] = int32(c)
+			tb[c] = i32(c)
 		} else {
 			vals[c] = maxV
-			tb[c] = int32(m + c)
+			tb[c] = i32(m + c)
 		}
 	}
 	// Build the tournament bottom-up: winners[] is only needed during init.
 	for c := 0; c < m; c++ {
-		winners[m+c] = int32(c)
+		winners[m+c] = i32(c)
 	}
 	for i := m - 1; i >= 1; i-- {
 		a, b := winners[2*i], winners[2*i+1]
@@ -421,7 +421,7 @@ func (t *tree[P]) mergePiece(out []P, childData []P, childLen, m int, split []in
 				vals[c] = childData[pos]
 			} else {
 				vals[c] = maxV
-				tb[c] = int32(m) + c
+				tb[c] = i32(m) + c
 			}
 			// Replay the root path: the refilled leaf competes against the
 			// stored losers; whoever loses stays, the winner moves up.
@@ -504,7 +504,7 @@ func findSplitInto[P payload](split []int32, childData []P, childLen, m, want in
 	v := P(lo)
 	base := 0
 	for c := 0; c < m; c++ {
-		split[c] = int32(lowerBoundP(childRunOf(childData, childLen, c), v))
+		split[c] = i32(lowerBoundP(childRunOf(childData, childLen, c), v))
 		base += int(split[c])
 	}
 	rem := want - base
@@ -513,7 +513,7 @@ func findSplitInto[P payload](split []int32, childData []P, childLen, m, want in
 		if eq > rem {
 			eq = rem
 		}
-		split[c] += int32(eq)
+		split[c] += i32(eq)
 		rem -= eq
 	}
 }

@@ -36,7 +36,7 @@ func (t *tree[P]) countBelow(lo, hi int, threshold P) int {
 		return rank
 	}
 	var stack [maxDescentStack]descFrame
-	stack[0] = descFrame{level: int32(top), run: 0, rank: int32(rank)}
+	stack[0] = descFrame{level: i32(top), run: 0, rank: i32(rank)}
 	sp := 1
 	total := 0
 	for sp > 0 {
@@ -69,7 +69,7 @@ func (t *tree[P]) countBelow(lo, hi int, threshold P) int {
 					//lint:invariant at most two partial runs exist per level and trees have at most 32 levels, so the stack cannot exceed 2·33 frames
 					panic("mst: countBelow descent stack overflow")
 				}
-				stack[sp] = descFrame{level: int32(level - 1), run: int32(r*t.f + c), rank: int32(childRank)}
+				stack[sp] = descFrame{level: i32(level - 1), run: i32(r*t.f + c), rank: i32(childRank)}
 				sp++
 			}
 		}

@@ -37,6 +37,10 @@ func (t *Tree) CountBelowBatch(lo, hi []int32, threshold []int64, out []int32) {
 		//lint:invariant the collector builds all four arrays with one length; a mismatch is a caller bug that would silently mis-answer queries
 		panic("mst: CountBelowBatch slice length mismatch")
 	}
+	if m >= math.MaxInt32 {
+		//lint:invariant the kernel addresses queries with int32 slots; callers batch per chunk, far below 2³¹ queries
+		panic("mst: CountBelowBatch batch of 2³¹ or more queries")
+	}
 	if m == 0 {
 		return
 	}
@@ -64,7 +68,7 @@ func (t *Tree) CountBelowBatch(lo, hi []int32, threshold []int64, out []int32) {
 			out[q] = 0
 			l, h = 0, 0
 		}
-		klo[q], khi[q] = int32(l), int32(h)
+		klo[q], khi[q] = i32(l), i32(h)
 	}
 	if t.t32 != nil {
 		thr := kernelInt32(noArena, m)
@@ -119,11 +123,11 @@ func countKernel[P payload](t *tree[P], lo, hi []int32, thr []P, out []int32, no
 		rank := lowerBoundFromP(run0, thr[q], g)
 		g = rank
 		if lo[q] <= 0 && int(hi[q]) >= t.n {
-			out[q] = int32(rank)
+			out[q] = i32(rank)
 			continue
 		}
 		out[q] = 0
-		cq[cn], cr[cn], crank[cn] = int32(q), 0, int32(rank)
+		cq[cn], cr[cn], crank[cn] = i32(q), 0, i32(rank)
 		cn++
 	}
 
@@ -174,13 +178,13 @@ func countKernel[P payload](t *tree[P], lo, hi []int32, thr []P, out []int32, no
 				}
 				cRank := childRankIn(samples, stride, r, rank, c, f, k, kids[cs:ce], x)
 				if qlo <= cs && qhi >= ce {
-					acc += int32(cRank)
+					acc += i32(cRank)
 				} else {
 					if nn == len(nq) {
 						//lint:invariant a query keeps at most two partial runs per level (the runs holding lo and hi-1), so the next frontier holds at most 2·m items
 						panic("mst: countKernel frontier overflow")
 					}
-					nq[nn], nr[nn], nrank[nn] = int32(q), int32(r*f+c), int32(cRank)
+					nq[nn], nr[nn], nrank[nn] = i32(q), i32(r*f+c), i32(cRank)
 					nn++
 				}
 			}

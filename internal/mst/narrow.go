@@ -1,0 +1,12 @@
+package mst
+
+// i32 is the audited narrowing funnel for tree-bounded quantities: element
+// indices, ranks, run numbers, cursor positions, level numbers and fanout
+// multiples. Build rejects inputs of math.MaxInt32 or more elements, and the
+// batch kernels reject query batches of that size, so every such quantity
+// fits int32 exactly. Narrowing conversions outside this funnel are flagged
+// by the narrowconv analyzer; keep new ones routed through here (or prove a
+// local bound).
+//
+//lint:narrowconv-entry every in-tree index, rank and count is bounded by Build's math.MaxInt32 element cap and the batch kernels' query cap
+func i32(v int) int32 { return int32(v) }

@@ -1,6 +1,9 @@
 package mst
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Batched, level-synchronous select kernel: the Figure 7 descent run over a
 // whole chunk of queries at once. Selection descends a single root-to-leaf
@@ -23,6 +26,10 @@ func (t *Tree) SelectKthRangesBatch(off []int32, vlo, vhi []int64, k []int32, ou
 	if len(off) != m+1 || len(k) != m || len(vlo) != len(vhi) || len(vlo) != int(off[m]) {
 		//lint:invariant the collector builds offsets and flattened ranges together; a mismatch is a caller bug that would silently mis-select
 		panic("mst: SelectKthRangesBatch slice length mismatch")
+	}
+	if m >= math.MaxInt32 {
+		//lint:invariant the kernel addresses queries with int32 slots; callers batch per chunk, far below 2³¹ queries
+		panic("mst: SelectKthRangesBatch batch of 2³¹ or more queries")
 	}
 	if m == 0 {
 		return
@@ -92,7 +99,7 @@ func selectKernel[P payload](t *tree[P], off []int32, vlo, vhi []P, k []int32, o
 			a := lowerBoundFromP(run0, vlo[j], glo[ord])
 			b := lowerBoundFromP(run0, vhi[j], ghi[ord])
 			glo[ord], ghi[ord] = a, b
-			rlo[j], rhi[j] = int32(a), int32(b)
+			rlo[j], rhi[j] = i32(a), i32(b)
 			total += b - a
 		}
 		if int(k[q]) >= total {
@@ -101,7 +108,7 @@ func selectKernel[P payload](t *tree[P], off []int32, vlo, vhi []P, k []int32, o
 		}
 		runQ[q] = 0
 		remQ[q] = k[q]
-		lq[ln] = int32(q)
+		lq[ln] = i32(q)
 		ln++
 	}
 
@@ -142,15 +149,15 @@ func selectKernel[P payload](t *tree[P], off []int32, vlo, vhi []P, k []int32, o
 				for j := o0; j < o1; j++ {
 					a := childRankIn(samples, stride, r, int(rlo[j]), c, f, kk, kid, vlo[j])
 					b := childRankIn(samples, stride, r, int(rhi[j]), c, f, kk, kid, vhi[j])
-					cl[j-o0], ch[j-o0] = int32(a), int32(b)
+					cl[j-o0], ch[j-o0] = i32(a), i32(b)
 					cnt += b - a
 				}
 				if i < cnt {
 					for j := o0; j < o1; j++ {
 						rlo[j], rhi[j] = cl[j-o0], ch[j-o0]
 					}
-					runQ[q] = int32(r*f + c)
-					remQ[q] = int32(i)
+					runQ[q] = i32(r*f + c)
+					remQ[q] = i32(i)
 					descended = true
 					break
 				}

@@ -106,6 +106,7 @@ func writeTree[P payload](w io.Writer, t *tree[P], is64 bool) error {
 	if cascading {
 		flags |= flagCascading
 	}
+	//lint:narrowconv-ok Options.validate caps f and k, and the level count is log_f(n) — all far below 2³²
 	for _, v := range []any{flags, uint64(t.n), uint32(t.f), uint32(t.k), uint32(len(t.levels))} {
 		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
 			return err

@@ -154,6 +154,7 @@ func Build(keys []int64, opt Options) (*Tree, error) {
 	if use32 {
 		base := make([]int32, len(keys))
 		for i, v := range keys {
+			//lint:narrowconv-ok the use32 scan above proved every key is in [0, math.MaxInt32]
 			base[i] = int32(v)
 		}
 		t.t32 = buildTree(base, opt)

@@ -14,6 +14,9 @@
 #   THRESHOLD  regression gate in %    (default 10)
 #   MARKDOWN   non-empty: markdown table (for CI job summaries)
 #   OUT        output directory        (default a fresh mktemp -d)
+#   SNAPSHOT   where to write the machine-readable medians of the HEAD run
+#              (default BENCH_<n>.json at the repo root, n = 1 + highest
+#              existing snapshot; set to "none" to skip)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,5 +49,21 @@ echo "benchcompare: benchmarking base..." >&2
 run_bench "$worktree" > "$OUT/base.txt"
 echo "benchcompare: benchmarking HEAD..." >&2
 run_bench "$PWD" > "$OUT/head.txt"
+
+# Record the HEAD medians as the next BENCH_<n>.json so every PR leaves a
+# machine-readable point on the perf trajectory.
+if [[ "${SNAPSHOT:-}" != "none" ]]; then
+    if [[ -z "${SNAPSHOT:-}" ]]; then
+        n=0
+        for f in BENCH_*.json; do
+            [[ -e "$f" ]] || continue
+            k="${f#BENCH_}"; k="${k%.json}"
+            [[ "$k" =~ ^[0-9]+$ ]] && (( k >= n )) && n=$((k + 1))
+        done
+        SNAPSHOT="BENCH_${n}.json"
+    fi
+    go run ./cmd/benchdiff -snapshot "$SNAPSHOT" "$OUT/head.txt"
+    echo "benchcompare: wrote $SNAPSHOT" >&2
+fi
 
 go run ./cmd/benchdiff -threshold "$THRESHOLD" ${MARKDOWN:+-markdown} "$OUT/base.txt" "$OUT/head.txt"
