@@ -16,6 +16,14 @@
 // Column types are inferred (int, float, ISO dates as days-since-epoch,
 // string; empty cells are NULL); date columns render back as dates.
 // Results are written as CSV to stdout or -o.
+//
+// Out-of-core datasets: -ingest converts a CSV into a directory of
+// columnar segment files with live progress (resumable if killed), -i may
+// name such a directory to query it, and with -server the ingest runs
+// server-side with polled progress:
+//
+//	windowcli -i lineitem.csv -ingest lineitem.seg/ -rows-per-segment 100000
+//	windowcli -i lineitem.seg/ -query "select ... from csv"
 package main
 
 import (
@@ -27,9 +35,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"holistic"
 	"holistic/internal/csvio"
+	"holistic/internal/ingest"
+	"holistic/internal/segment"
 	"holistic/internal/server/api"
 )
 
@@ -54,6 +65,8 @@ var (
 	server    = flag.String("server", "", "windowd base URL (e.g. http://127.0.0.1:8080); runs -query remotely instead of locally")
 	dataset   = flag.String("dataset", "", "with -server: dataset name; uploads -i under this name before querying")
 	timeoutMS = flag.Int64("timeout-ms", 0, "with -server: per-query timeout in milliseconds (0 = server default)")
+	ingestTo  = flag.String("ingest", "", "ingest the CSV at -i into this segment dataset directory with live progress (with -server: server-side ingest registered as -dataset)")
+	segRows   = flag.Int("rows-per-segment", 0, "with -ingest: rows per segment file (0 = default)")
 )
 
 func fail(err error) {
@@ -69,6 +82,10 @@ func main() {
 		fail(runRemote())
 		return
 	}
+	if *ingestTo != "" {
+		fail(runIngest())
+		return
+	}
 	if *funcName == "" && *query == "" {
 		fail(fmt.Errorf("missing -func or -query"))
 	}
@@ -81,14 +98,7 @@ func main() {
 		fmt.Print(plan)
 		return
 	}
-	var in io.Reader = os.Stdin
-	if *input != "-" {
-		f, err := os.Open(*input)
-		fail(err)
-		defer f.Close()
-		in = f
-	}
-	file, err := csvio.Read(in)
+	file, err := readInput()
 	fail(err)
 	table := file.Table
 
@@ -120,13 +130,113 @@ func main() {
 	fail(csvio.Write(out, result, file.DateColumns))
 }
 
+// readInput loads -i: stdin, a CSV file, or a segment dataset directory
+// (as written by -ingest), which materializes without re-parsing any CSV.
+func readInput() (*csvio.File, error) {
+	if *input == "-" {
+		return csvio.Read(os.Stdin)
+	}
+	st, err := os.Stat(*input)
+	if err != nil {
+		return nil, err
+	}
+	if st.IsDir() {
+		d, err := segment.OpenDir(*input)
+		if err != nil {
+			return nil, err
+		}
+		defer d.Close()
+		return d.File(nil)
+	}
+	f, err := os.Open(*input)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return csvio.Read(f)
+}
+
+// runIngest converts the CSV at -i into a segment dataset directory
+// locally, printing live progress to stderr. A killed run resumes from the
+// directory's persisted state on the next invocation.
+func runIngest() error {
+	if *input == "" || *input == "-" {
+		return fmt.Errorf("-ingest needs -i pointing at a CSV file (stdin is not seekable)")
+	}
+	ing := ingest.New(*input, *ingestTo, ingest.Options{RowsPerSegment: *segRows})
+	done := make(chan struct{})
+	var res *ingest.Result
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = ing.Run(context.Background())
+	}()
+	progress := func() {
+		p := ing.Progress()
+		if !p.Planned {
+			fmt.Fprintf(os.Stderr, "\rwindowcli: planning %s...", *input)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\rwindowcli: ingest %d/%d intervals, %d/%d rows (%d resumed)   ",
+			p.DoneIntervals, p.TotalIntervals, p.DoneRows, p.TotalRows, p.Resumed)
+	}
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			progress()
+		case <-done:
+			progress()
+			fmt.Fprintln(os.Stderr)
+			if runErr != nil {
+				return runErr
+			}
+			fmt.Fprintf(os.Stderr, "windowcli: ingested %d rows into %d segments at %s (%d resumed)\n",
+				res.Rows, res.Segments, *ingestTo, res.Resumed)
+			return nil
+		}
+	}
+}
+
+// remoteIngest starts a server-side ingest of the server-visible CSV path
+// -i into -ingest and polls progress until it settles.
+func remoteIngest(ctx context.Context, c *api.Client) error {
+	if *dataset == "" {
+		return fmt.Errorf("-server -ingest needs -dataset")
+	}
+	st, err := c.StartIngest(ctx, *dataset, api.RegisterRequest{Path: *input, Dir: *ingestTo, RowsPerSegment: *segRows})
+	if err != nil {
+		return err
+	}
+	for st.State == api.IngestRunning {
+		fmt.Fprintf(os.Stderr, "\rwindowcli: ingest %d/%d intervals, %d/%d rows (%d resumed)   ",
+			st.DoneIntervals, st.TotalIntervals, st.DoneRows, st.TotalRows, st.Resumed)
+		time.Sleep(200 * time.Millisecond)
+		if st, err = c.IngestStatus(ctx, *dataset); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(os.Stderr)
+	if st.State == api.IngestFailed || st.Dataset == nil {
+		return fmt.Errorf("ingest failed: %s", st.Error)
+	}
+	fmt.Fprintf(os.Stderr, "windowcli: ingested %s v%d (%d rows, %d segments)\n",
+		st.Dataset.Name, st.Dataset.Version, st.Dataset.Rows, st.Dataset.Segments)
+	return nil
+}
+
 // runRemote drives a windowd server through the shared api client: it
-// optionally uploads -i as -dataset, then runs -query (or -explain) and
-// writes the result as CSV.
+// optionally uploads -i as -dataset (or runs a server-side -ingest), then
+// runs -query (or -explain) and writes the result as CSV.
 func runRemote() error {
 	c := &api.Client{BaseURL: *server}
 	ctx := context.Background()
-	if *dataset != "" && *input != "" && *input != "-" {
+	if *ingestTo != "" {
+		if err := remoteIngest(ctx, c); err != nil {
+			return err
+		}
+	} else if *dataset != "" && *input != "" && *input != "-" {
 		data, err := os.ReadFile(*input)
 		if err != nil {
 			return err

@@ -2,8 +2,12 @@
 //
 // Datasets are CSV files registered at startup (-load name=path) or over
 // the API (POST /datasets/{name} with a CSV body or a JSON {"path": ...}).
-// Queries are SQL statements in the paper's dialect whose FROM clause names
-// a dataset:
+// Out-of-core segment datasets register from directories (-load-dir
+// name=dir, or POST with {"source":"dir","dir":...}), and the server
+// ingests CSVs into segment directories asynchronously (POST with
+// {"source":"ingest","path":...,"dir":...}; progress at
+// GET /v1/datasets/{name}/ingest). Queries are SQL statements in the
+// paper's dialect whose FROM clause names a dataset:
 //
 //	windowd -addr :8080 -load orders=orders.csv &
 //	curl -s localhost:8080/v1/query -d '{"sql":
@@ -60,9 +64,13 @@ func main() {
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
 		slowQuery      = flag.Duration("slow-query", 0, "log queries at least this slow at WARN with their span tree (0 = disabled)")
 		debugAddr      = flag.String("debug-addr", "", "listen address for the pprof debug server (empty = disabled)")
+		maxUploadBytes = flag.Int64("max-upload-bytes", 256<<20, "largest accepted dataset registration body; oversized uploads answer 413")
+		spillRows      = flag.Int("spill-rows", 0, "build merge sort trees as forests of this many rows per subtree (0 = monolithic)")
 		loads          loadFlags
+		loadDirs       loadFlags
 	)
 	flag.Var(&loads, "load", "dataset to load at startup as name=path (repeatable)")
+	flag.Var(&loadDirs, "load-dir", "segment dataset directory to register at startup as name=dir (repeatable)")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -72,6 +80,8 @@ func main() {
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
 		SlowQuery:      *slowQuery,
+		MaxUploadBytes: *maxUploadBytes,
+		SpillRows:      *spillRows,
 		Logger:         log,
 	})
 	for _, l := range loads {
@@ -82,6 +92,15 @@ func main() {
 			os.Exit(1)
 		}
 		log.Info("loaded dataset", "dataset", info.Name, "rows", info.Rows, "columns", len(info.Columns))
+	}
+	for _, l := range loadDirs {
+		name, dir, _ := strings.Cut(l, "=")
+		info, err := srv.RegisterDir(name, dir)
+		if err != nil {
+			log.Error("load segment dataset", "dataset", name, "dir", dir, "err", err)
+			os.Exit(1)
+		}
+		log.Info("loaded segment dataset", "dataset", info.Name, "rows", info.Rows, "segments", info.Segments)
 	}
 
 	// The pprof endpoints live on their own opt-in listener, never on the

@@ -50,8 +50,9 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// pkgSuffixes scopes the analyzer to the kernel and operator packages.
-var pkgSuffixes = []string{"internal/mst", "internal/core"}
+// pkgSuffixes scopes the analyzer to the kernel, operator and on-disk
+// format packages.
+var pkgSuffixes = []string{"internal/mst", "internal/core", "internal/segment"}
 
 // state is the per-variable must-fact: properties holding on every path.
 type state uint8

@@ -1,7 +1,13 @@
 // Package csvio reads and writes core tables as CSV with type inference,
-// shared by the command-line tools. Column types are inferred from the
-// data: INT64, then ISO dates (stored as days since the Unix epoch), then
-// FLOAT64, then STRING; empty cells become SQL NULLs.
+// shared by the command-line tools and the chunked ingester. Column types
+// are inferred from the data: INT64, then ISO dates (stored as days since
+// the Unix epoch), then FLOAT64, then STRING; empty cells become SQL NULLs.
+//
+// The inference state (ColFlags) and the strict row-to-column conversion
+// (BuildColumns) are exported so internal/ingest can split the two phases:
+// a sequential planning pass infers whole-file flags, then parallel workers
+// parse disjoint row ranges under those fixed flags — guaranteeing every
+// worker agrees on the schema regardless of which rows it saw.
 package csvio
 
 import (
@@ -42,50 +48,86 @@ type File struct {
 	DateColumns map[string]bool
 }
 
-// Read loads a CSV (header row required) into a table, inferring column
-// types.
-func Read(r io.Reader) (*File, error) {
-	cr := csv.NewReader(r)
-	records, err := cr.ReadAll()
-	if err != nil {
-		return nil, err
+// ColFlags is the streaming type-inference state for one column. Observe
+// every non-empty cell, then the narrowest surviving flag (int, then date,
+// then float) decides the column type; a column with no surviving flag — or
+// no values at all — is a string column. Flags from disjoint row ranges
+// combine with Merge, so inference distributes over chunks.
+type ColFlags struct {
+	IsInt, IsFloat, IsDate bool
+	// SawValue records whether any non-empty cell was observed; an all-NULL
+	// column types as STRING.
+	SawValue bool
+}
+
+// NewColFlags returns the initial state: every type still possible.
+func NewColFlags() ColFlags {
+	return ColFlags{IsInt: true, IsFloat: true, IsDate: true}
+}
+
+// Observe folds one cell into the inference state. Empty cells are NULLs
+// and carry no type evidence.
+func (f *ColFlags) Observe(v string) {
+	if v == "" {
+		return
 	}
-	if len(records) == 0 {
-		return nil, fmt.Errorf("csvio: empty input (missing header row)")
+	f.SawValue = true
+	if f.IsInt {
+		if _, e := strconv.ParseInt(v, 10, 64); e != nil {
+			f.IsInt = false
+		}
 	}
-	header := records[0]
-	rows := records[1:]
+	if f.IsFloat {
+		if _, e := strconv.ParseFloat(v, 64); e != nil {
+			f.IsFloat = false
+		}
+	}
+	if f.IsDate {
+		if _, e := time.Parse(dateFormat, v); e != nil {
+			f.IsDate = false
+		}
+	}
+}
+
+// Merge combines inference states from disjoint row ranges: a type survives
+// only if it survived in both, and a value was seen if either saw one.
+func (f *ColFlags) Merge(g ColFlags) {
+	f.IsInt = f.IsInt && g.IsInt
+	f.IsFloat = f.IsFloat && g.IsFloat
+	f.IsDate = f.IsDate && g.IsDate
+	f.SawValue = f.SawValue || g.SawValue
+}
+
+// cellError wraps a parse failure with its source location, naming the line
+// and the column so a failure deep inside a multi-gigabyte ingest pinpoints
+// the offending cell.
+func cellError(line int, column string, err error) error {
+	return fmt.Errorf("csvio: line %d, column %q: %w", line, column, err)
+}
+
+// BuildColumns converts parsed CSV rows into typed columns under the given
+// per-column flags. The flags normally come from inference over a superset
+// of rows (the whole file), so parsing is strict: a cell that contradicts
+// its column's inferred type is an error, reported with the cell's source
+// line and column name. lines[i] is the 1-based source line of row i; a nil
+// lines slice numbers rows from 2 (row 0 follows a header on line 1).
+//
+// The second result marks date columns, matching File.DateColumns.
+func BuildColumns(header []string, rows [][]string, flags []ColFlags, lines []int) ([]*core.Column, map[string]bool, error) {
+	if len(flags) != len(header) {
+		return nil, nil, fmt.Errorf("csvio: %d columns but %d flag entries", len(header), len(flags))
+	}
+	lineOf := func(i int) int {
+		if lines != nil {
+			return lines[i]
+		}
+		return i + 2
+	}
 	n := len(rows)
 	dateCols := map[string]bool{}
 	cols := make([]*core.Column, len(header))
 	for c, name := range header {
-		isInt, isFloat, isDate := true, true, true
-		sawValue := false
-		for _, row := range rows {
-			v := row[c]
-			if v == "" {
-				continue
-			}
-			sawValue = true
-			if isInt {
-				if _, e := strconv.ParseInt(v, 10, 64); e != nil {
-					isInt = false
-				}
-			}
-			if isFloat {
-				if _, e := strconv.ParseFloat(v, 64); e != nil {
-					isFloat = false
-				}
-			}
-			if isDate {
-				if _, e := time.Parse(dateFormat, v); e != nil {
-					isDate = false
-				}
-			}
-			if !isInt && !isFloat && !isDate {
-				break
-			}
-		}
+		f := flags[c]
 		nulls := make([]bool, n)
 		hasNull := false
 		for i, row := range rows {
@@ -98,29 +140,44 @@ func Read(r io.Reader) (*File, error) {
 			nulls = nil
 		}
 		switch {
-		case isInt && sawValue:
+		case f.IsInt && f.SawValue:
 			vals := make([]int64, n)
 			for i, row := range rows {
-				if row[c] != "" {
-					vals[i], _ = strconv.ParseInt(row[c], 10, 64)
+				if row[c] == "" {
+					continue
 				}
+				v, err := strconv.ParseInt(row[c], 10, 64)
+				if err != nil {
+					return nil, nil, cellError(lineOf(i), name, err)
+				}
+				vals[i] = v
 			}
 			cols[c] = core.NewInt64Column(name, vals, nulls)
-		case isDate && sawValue:
+		case f.IsDate && f.SawValue:
 			vals := make([]int64, n)
 			for i, row := range rows {
-				if row[c] != "" {
-					vals[i], _ = DateToDay(row[c])
+				if row[c] == "" {
+					continue
 				}
+				v, err := DateToDay(row[c])
+				if err != nil {
+					return nil, nil, cellError(lineOf(i), name, err)
+				}
+				vals[i] = v
 			}
 			cols[c] = core.NewInt64Column(name, vals, nulls)
 			dateCols[name] = true
-		case isFloat && sawValue:
+		case f.IsFloat && f.SawValue:
 			vals := make([]float64, n)
 			for i, row := range rows {
-				if row[c] != "" {
-					vals[i], _ = strconv.ParseFloat(row[c], 64)
+				if row[c] == "" {
+					continue
 				}
+				v, err := strconv.ParseFloat(row[c], 64)
+				if err != nil {
+					return nil, nil, cellError(lineOf(i), name, err)
+				}
+				vals[i] = v
 			}
 			cols[c] = core.NewFloat64Column(name, vals, nulls)
 		default:
@@ -132,6 +189,45 @@ func Read(r io.Reader) (*File, error) {
 			}
 			cols[c] = core.NewStringColumn(name, vals, nulls)
 		}
+	}
+	return cols, dateCols, nil
+}
+
+// Read loads a CSV (header row required) into a table, inferring column
+// types.
+func Read(r io.Reader) (*File, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("csvio: empty input (missing header row)")
+	}
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	var lines []int
+	flags := make([]ColFlags, len(header))
+	for c := range flags {
+		flags[c] = NewColFlags()
+	}
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		line, _ := cr.FieldPos(0)
+		lines = append(lines, line)
+		for c, v := range row {
+			flags[c].Observe(v)
+		}
+		rows = append(rows, row)
+	}
+	cols, dateCols, err := BuildColumns(header, rows, flags, lines)
+	if err != nil {
+		return nil, err
 	}
 	table, err := core.NewTable(cols...)
 	if err != nil {

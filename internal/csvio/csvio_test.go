@@ -232,6 +232,67 @@ func TestInferenceConflictsDowngrade(t *testing.T) {
 	}
 }
 
+func TestBuildColumnsErrorContext(t *testing.T) {
+	// Strict parsing under fixed flags (the ingest worker path) must report
+	// the offending cell as `line N, column "x"`.
+	header := []string{"a", "v"}
+	rows := [][]string{{"1", "x"}, {"oops", "y"}}
+	flags := []ColFlags{{IsInt: true, SawValue: true}, {SawValue: true}}
+	_, _, err := BuildColumns(header, rows, flags, nil)
+	if err == nil {
+		t.Fatal("contradicting cell must error")
+	}
+	if !strings.Contains(err.Error(), `line 3, column "a"`) {
+		t.Fatalf("error %q lacks line/column context", err)
+	}
+	// An explicit line table overrides the default numbering.
+	_, _, err = BuildColumns(header, rows, flags, []int{10, 42})
+	if err == nil || !strings.Contains(err.Error(), `line 42, column "a"`) {
+		t.Fatalf("error %q ignores the line table", err)
+	}
+	// Same contract for dates and floats.
+	dflags := []ColFlags{{IsDate: true, SawValue: true}, {SawValue: true}}
+	_, _, err = BuildColumns(header, [][]string{{"2024-13-99", "x"}}, dflags, nil)
+	if err == nil || !strings.Contains(err.Error(), `line 2, column "a"`) {
+		t.Fatalf("date error %q lacks context", err)
+	}
+	fflags := []ColFlags{{IsFloat: true, SawValue: true}}
+	_, _, err = BuildColumns(header[:1], [][]string{{"1.5"}, {"nope"}}, fflags, nil)
+	if err == nil || !strings.Contains(err.Error(), `line 3, column "a"`) {
+		t.Fatalf("float error %q lacks context", err)
+	}
+	if _, _, err := BuildColumns(header, rows, flags[:1], nil); err == nil {
+		t.Fatal("flag/header arity mismatch must error")
+	}
+}
+
+func TestColFlagsMerge(t *testing.T) {
+	// Merging per-chunk inference states must equal inferring over the
+	// concatenation — the property the two-phase ingester relies on.
+	chunks := [][]string{{"1", "2"}, {"3.5", ""}}
+	whole := NewColFlags()
+	merged := NewColFlags()
+	first := true
+	for _, ch := range chunks {
+		part := NewColFlags()
+		for _, v := range ch {
+			part.Observe(v)
+			whole.Observe(v)
+		}
+		if first {
+			merged, first = part, false
+		} else {
+			merged.Merge(part)
+		}
+	}
+	if merged != whole {
+		t.Fatalf("merged %+v != whole-scan %+v", merged, whole)
+	}
+	if merged.IsInt || !merged.IsFloat || merged.IsDate || !merged.SawValue {
+		t.Fatalf("unexpected inference outcome %+v", merged)
+	}
+}
+
 func TestDuplicateHeaderErrors(t *testing.T) {
 	if _, err := Read(strings.NewReader("a,a\n1,2\n")); err == nil {
 		t.Fatal("duplicate header must error, not shadow a column")

@@ -1,0 +1,257 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"holistic/internal/csvio"
+	"holistic/internal/segment"
+)
+
+// writeSourceCSV generates a CSV exercising every inferred type, NULLs,
+// and quoting hazards (embedded commas, quotes and newlines) so interval
+// byte offsets are tested against multi-line records.
+func writeSourceCSV(t testing.TB, path string, rows int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(rows)))
+	var b strings.Builder
+	b.WriteString("g,d,v,f,s\n")
+	words := []string{"plain", "com,ma", "qu\"ote", "new\nline", ""}
+	for i := 0; i < rows; i++ {
+		day := fmt.Sprintf("2024-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))
+		v := ""
+		if rng.Intn(8) != 0 {
+			v = fmt.Sprintf("%d", rng.Intn(2000)-1000)
+		}
+		f := fmt.Sprintf("%g", float64(rng.Intn(1000))/8)
+		w := words[rng.Intn(len(words))]
+		rec := []string{fmt.Sprintf("%d", rng.Intn(5)), day, v, f, w}
+		for j, cell := range rec {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(cell, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// renderDataset materializes a dataset directory and renders it as CSV.
+func renderDataset(t testing.TB, dest string) []byte {
+	t.Helper()
+	d, err := segment.OpenDir(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	f, err := d.File(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := csvio.Write(&buf, f.Table, f.DateColumns); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// renderSource reads the source with csvio (the in-RAM path) and renders
+// it back, the reference for byte identity.
+func renderSource(t testing.TB, src string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := csvio.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := csvio.Write(&buf, f.Table, f.DateColumns); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestIngestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.csv")
+	writeSourceCSV(t, src, 1000)
+	dest := filepath.Join(dir, "data")
+	ing := New(src, dest, Options{RowsPerSegment: 150, BlockRows: 64})
+	res, err := ing.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 1000 || res.Segments != 7 || res.Resumed != 0 {
+		t.Fatalf("result %+v", res)
+	}
+	p := ing.Progress()
+	if !p.Planned || p.DoneIntervals != 7 || p.DoneRows != 1000 || p.TotalRows != 1000 {
+		t.Fatalf("final progress %+v", p)
+	}
+	if !bytes.Equal(renderDataset(t, dest), renderSource(t, src)) {
+		t.Fatal("ingested dataset differs from in-RAM read of the source")
+	}
+	// Re-running over a complete dataset is a no-op resume.
+	res2, err := New(src, dest, Options{RowsPerSegment: 150}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Resumed != 7 {
+		t.Fatalf("full re-run resumed %d of 7 intervals", res2.Resumed)
+	}
+}
+
+// TestIngestKillAndResume cancels an ingest mid-run and verifies the
+// second run picks up from the persisted state without re-processing the
+// intervals the first run completed.
+func TestIngestKillAndResume(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.csv")
+	writeSourceCSV(t, src, 1200)
+	dest := filepath.Join(dir, "data")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ing := New(src, dest, Options{RowsPerSegment: 100})
+	// Kill the run as soon as some but not all intervals have completed.
+	go func() {
+		for {
+			p := ing.Progress()
+			if p.DoneIntervals >= 2 {
+				cancel()
+				return
+			}
+		}
+	}()
+	if _, err := ing.Run(ctx); err == nil {
+		// The race can finish everything before cancel lands; that is
+		// still a valid (if less interesting) outcome.
+		t.Log("run finished before cancellation landed")
+	}
+	cancel()
+
+	st, err := loadState(dest)
+	if err != nil || st == nil {
+		t.Fatalf("no persisted state after kill: %v", err)
+	}
+	durable := len(st.Completed)
+	if durable == 0 {
+		t.Fatal("kill landed before any interval persisted; cancel watcher is broken")
+	}
+
+	res, err := New(src, dest, Options{RowsPerSegment: 100}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed != durable {
+		t.Fatalf("resumed %d intervals, %d were durable", res.Resumed, durable)
+	}
+	if res.Rows != 1200 || res.Segments != 12 {
+		t.Fatalf("result %+v", res)
+	}
+	if !bytes.Equal(renderDataset(t, dest), renderSource(t, src)) {
+		t.Fatal("resumed dataset differs from in-RAM read of the source")
+	}
+}
+
+// TestIngestRestartsWhenSourceChanges pins the fingerprint guard: stale
+// state over a modified source is discarded, not resumed.
+func TestIngestRestartsWhenSourceChanges(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.csv")
+	writeSourceCSV(t, src, 300)
+	dest := filepath.Join(dir, "data")
+	if _, err := New(src, dest, Options{RowsPerSegment: 100}).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	writeSourceCSV(t, src, 450) // different content and size
+	res, err := New(src, dest, Options{RowsPerSegment: 100}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed != 0 {
+		t.Fatalf("resumed %d intervals across a source change", res.Resumed)
+	}
+	if res.Rows != 450 || res.Segments != 5 {
+		t.Fatalf("result %+v", res)
+	}
+	if !bytes.Equal(renderDataset(t, dest), renderSource(t, src)) {
+		t.Fatal("re-ingested dataset differs from the new source")
+	}
+}
+
+// TestParseIntervalErrorContext pins the satellite contract: a worker
+// parse failure surfaces csvio's line/column context verbatim, with line
+// numbers global to the source file.
+func TestParseIntervalErrorContext(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.csv")
+	if err := os.WriteFile(src, []byte("a,v\n1,x\n2,y\n3,z\n4,w\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := plan(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a type the data contradicts, as if the file changed between
+	// planning and the worker pass: column v is strings, claim int.
+	st.Flags[1] = csvio.ColFlags{IsInt: true, SawValue: true}
+	_, err = parseInterval(src, st, st.Intervals[1])
+	if err == nil {
+		t.Fatal("contradicting cell parsed")
+	}
+	// Interval 1 starts at data row 2 (source line 4), so the first bad
+	// cell is line 4, column v.
+	if !strings.Contains(err.Error(), `line 4, column "v"`) {
+		t.Fatalf("error %q lacks global line/column context", err)
+	}
+}
+
+func TestIngestEmptySource(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.csv")
+	if err := os.WriteFile(src, []byte("a,b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(src, filepath.Join(dir, "data"), Options{}).Run(context.Background()); err == nil {
+		t.Fatal("header-only source ingested")
+	}
+}
+
+// BenchmarkIngest measures a full cold ingest: plan pass, parallel parse,
+// segment writes and state persistence.
+func BenchmarkIngest(b *testing.B) {
+	dir := b.TempDir()
+	src := filepath.Join(dir, "src.csv")
+	writeSourceCSV(b, src, 50_000)
+	st, err := os.Stat(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(st.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dest := filepath.Join(dir, fmt.Sprintf("data-%d", i))
+		if _, err := New(src, dest, Options{RowsPerSegment: 8192}).Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		os.RemoveAll(dest)
+		b.StartTimer()
+	}
+}

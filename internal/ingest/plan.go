@@ -1,0 +1,125 @@
+package ingest
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+
+	"holistic/internal/csvio"
+)
+
+// plan runs the sequential planning pass: one streaming scan of the source
+// that splits it into row intervals and infers the whole-file schema
+// flags. The scan uses the csv reader's byte-offset tracking so every
+// interval records exactly where its first record starts — workers seek
+// there directly, never re-reading earlier intervals.
+func plan(src string, rowsPerSegment int) (*State, error) {
+	fp, err := fingerprint(src)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(src)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("ingest: %s: empty input (missing header row)", src)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &State{
+		Version:        stateVersion,
+		Source:         src,
+		Fingerprint:    fp,
+		RowsPerSegment: rowsPerSegment,
+		Header:         append([]string(nil), header...),
+		Flags:          make([]csvio.ColFlags, len(header)),
+		Completed:      map[int]*Completed{},
+	}
+	for c := range s.Flags {
+		s.Flags[c] = csvio.NewColFlags()
+	}
+	var cur *Interval
+	var rowIdx int64
+	for {
+		off := cr.InputOffset()
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if cur == nil || cur.Rows == rowsPerSegment {
+			if cur != nil {
+				cur.ByteLen = off - cur.ByteOff
+			}
+			line, _ := cr.FieldPos(0)
+			s.Intervals = append(s.Intervals, Interval{
+				Index:     len(s.Intervals),
+				StartRow:  rowIdx,
+				ByteOff:   off,
+				StartLine: line,
+			})
+			cur = &s.Intervals[len(s.Intervals)-1]
+		}
+		for c, v := range row {
+			s.Flags[c].Observe(v)
+		}
+		cur.Rows++
+		rowIdx++
+	}
+	if cur != nil {
+		cur.ByteLen = cr.InputOffset() - cur.ByteOff
+	}
+	return s, nil
+}
+
+// parseInterval parses one interval's bytes into typed columns under the
+// plan's global flags. Errors carry csvio's `line N, column "x"` context
+// with line numbers global to the source file.
+func parseInterval(src string, s *State, iv Interval) (*csvio.File, error) {
+	f, err := os.Open(src)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(io.NewSectionReader(f, iv.ByteOff, iv.ByteLen))
+	rows := make([][]string, 0, iv.Rows)
+	lines := make([]int, 0, iv.Rows)
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %s interval %d: %w", src, iv.Index, err)
+		}
+		if len(row) != len(s.Header) {
+			return nil, fmt.Errorf("ingest: %s interval %d: record has %d fields, header has %d", src, iv.Index, len(row), len(s.Header))
+		}
+		// The section reader starts line numbering at 1; rebase onto the
+		// interval's global start line.
+		line, _ := cr.FieldPos(0)
+		lines = append(lines, iv.StartLine+line-1)
+		rows = append(rows, row)
+	}
+	if len(rows) != iv.Rows {
+		return nil, fmt.Errorf("ingest: %s interval %d: parsed %d rows, plan says %d (source changed?)", src, iv.Index, len(rows), iv.Rows)
+	}
+	cols, dateCols, err := csvio.BuildColumns(s.Header, rows, s.Flags, lines)
+	if err != nil {
+		return nil, err
+	}
+	table, err := newTable(cols)
+	if err != nil {
+		return nil, err
+	}
+	return &csvio.File{Table: table, DateColumns: dateCols}, nil
+}

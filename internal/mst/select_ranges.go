@@ -21,6 +21,9 @@ func (t *Tree) SelectKthRanges(ranges [][2]int64, i int) (pos int, ok bool) {
 		//lint:invariant frame exclusion yields at most 3 ranges (§4.7); more is a window-operator bug, and truncating would silently mis-select
 		panic(fmt.Sprintf("mst: SelectKthRanges got %d ranges, max %d", len(ranges), maxSelectRanges))
 	}
+	if t.chunks != nil {
+		return t.chunkedSelectKthRanges(ranges, i)
+	}
 	if len(ranges) == 1 {
 		return t.SelectKth(ranges[0][0], ranges[0][1], i)
 	}

@@ -32,6 +32,7 @@ package mst
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"holistic/internal/obs"
 )
@@ -69,6 +70,14 @@ type Options struct {
 	// the flag exists for allocation-behavior comparisons and as an escape
 	// hatch should the substrate misbehave.
 	NoArena bool
+	// SpillRows, when > 0, makes Build spill-aware: inputs larger than
+	// SpillRows are built as an ordered forest of monolithic subtrees over
+	// consecutive SpillRows-sized chunks (one per on-disk segment's worth of
+	// rows in the out-of-core path), merged lazily at query time — see
+	// spill.go. Answers are byte-identical to the monolithic tree's; only
+	// Build honors the option (BuildAnnotated stays monolithic because its
+	// float prefix aggregates depend on merge order). 0 disables spilling.
+	SpillRows int
 	// Trace, when non-nil, receives one child span per merge level during
 	// construction. It never influences the built structure, so it is
 	// excluded from structural signatures and not persisted by Serialize.
@@ -91,6 +100,9 @@ func (o Options) validate() error {
 	}
 	if o.SampleEvery < 1 {
 		return fmt.Errorf("mst: sample distance must be >= 1, got %d", o.SampleEvery)
+	}
+	if o.SpillRows < 0 {
+		return fmt.Errorf("mst: spill rows must be >= 0, got %d", o.SpillRows)
 	}
 	return nil
 }
@@ -127,6 +139,18 @@ type Tree struct {
 	t64 *tree[int64]
 	n   int
 	opt Options
+
+	// Spill-chunked representation (Options.SpillRows, spill.go): when
+	// chunks is non-nil, t32/t64 are nil and chunks[i] is a monolithic
+	// subtree over base positions [i·chunkLen, min((i+1)·chunkLen, n)).
+	chunks   []*Tree
+	chunkLen int
+	// topOnce guards the lazily merged full top run (top32 or top64,
+	// matching the forest's payload width), built on the first full-span
+	// query by merging the chunk top runs with the loser-tree scratch.
+	topOnce sync.Once
+	top32   []int32
+	top64   []int64
 }
 
 // Build constructs a merge sort tree over keys. The input slice is not
@@ -140,6 +164,9 @@ func Build(keys []int64, opt Options) (*Tree, error) {
 	}
 	if len(keys) >= math.MaxInt32 {
 		return nil, fmt.Errorf("mst: input of %d elements exceeds the 2³¹ element limit", len(keys))
+	}
+	if opt.SpillRows > 0 && len(keys) > opt.SpillRows {
+		return buildChunked(keys, opt)
 	}
 	t := &Tree{n: len(keys), opt: opt}
 	use32 := !opt.Force64
@@ -169,8 +196,19 @@ func Build(keys []int64, opt Options) (*Tree, error) {
 // Len returns the number of elements the tree was built over.
 func (t *Tree) Len() int { return t.n }
 
-// Is32Bit reports whether the tree stores 32-bit elements.
-func (t *Tree) Is32Bit() bool { return t.t32 != nil }
+// Is32Bit reports whether the tree stores 32-bit elements (for a spill
+// forest: whether every subtree does).
+func (t *Tree) Is32Bit() bool {
+	if t.chunks != nil {
+		for _, c := range t.chunks {
+			if !c.Is32Bit() {
+				return false
+			}
+		}
+		return true
+	}
+	return t.t32 != nil
+}
 
 // CountBelow returns the number of entries at positions [lo, hi) whose value
 // is strictly smaller than threshold. lo and hi are clamped to [0, Len()].
@@ -183,6 +221,9 @@ func (t *Tree) CountBelow(lo, hi int, threshold int64) int {
 	}
 	if lo >= hi {
 		return 0
+	}
+	if t.chunks != nil {
+		return t.chunkedCountBelow(lo, hi, threshold)
 	}
 	if t.t32 != nil {
 		if threshold <= 0 {
@@ -212,6 +253,9 @@ func (t *Tree) SelectKth(vLo, vHi int64, i int) (pos int, ok bool) {
 	if i < 0 || vHi <= vLo || t.n == 0 {
 		return 0, false
 	}
+	if t.chunks != nil {
+		return t.chunkedSelectKthRanges([][2]int64{{vLo, vHi}}, i)
+	}
 	if t.t32 != nil {
 		l32 := clampI32(vLo)
 		h32 := clampI32(vHi)
@@ -235,6 +279,9 @@ func clampI32(v int64) int32 {
 
 // Value returns the payload value at base position pos.
 func (t *Tree) Value(pos int) int64 {
+	if t.chunks != nil {
+		return t.chunks[pos/t.chunkLen].Value(pos % t.chunkLen)
+	}
 	if t.t32 != nil {
 		return int64(t.t32.levels[0][pos])
 	}

@@ -1,0 +1,101 @@
+package segment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"holistic/internal/core"
+	"holistic/internal/csvio"
+)
+
+// FuzzSegmentRoundTrip drives the full segment lifecycle from arbitrary
+// CSV input: whatever csvio accepts must survive a write→read round trip
+// byte-identically, any single corrupted byte of the file must be caught
+// by Open or a column load, and any truncation must fail Open cleanly.
+func FuzzSegmentRoundTrip(f *testing.F) {
+	f.Add([]byte("a,b\n1,x\n2,y\n3,\n"), uint8(2), uint16(7))
+	f.Add([]byte("d,v\n2024-01-01,1.5\n2024-02-02,\n"), uint8(1), uint16(40))
+	f.Add([]byte("i\n1\n2\n3\n4\n5\n6\n7\n8\n9\n"), uint8(3), uint16(0))
+	f.Add([]byte("s\n\"q,u\"\n\n"), uint8(9), uint16(999))
+	f.Fuzz(func(t *testing.T, csvData []byte, blockRows uint8, pos uint16) {
+		file, err := csvio.Read(bytes.NewReader(csvData))
+		if err != nil || file.Table.Rows() == 0 {
+			return
+		}
+		dir := t.TempDir()
+		path := filepath.Join(dir, "f"+FileSuffix)
+		w, err := NewWriter(path, int(blockRows%32)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteTable(file, 0); err != nil {
+			// Tables the format rejects by contract (e.g. non-UTF-8 column
+			// names) are uninteresting inputs, not failures.
+			w.Abort()
+			return
+		}
+		if _, err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(path)
+		if err != nil {
+			t.Fatalf("reopening just-written segment: %v", err)
+		}
+		cols := make([]*core.Column, 0, len(r.Manifest().Columns))
+		for _, meta := range r.Manifest().Columns {
+			c, err := r.Column(meta.Name)
+			if err != nil {
+				t.Fatalf("loading column %q: %v", meta.Name, err)
+			}
+			cols = append(cols, c)
+		}
+		r.Close()
+		back := &csvio.File{Table: core.MustNewTable(cols...), DateColumns: file.DateColumns}
+		var orig, got bytes.Buffer
+		if err := csvio.Write(&orig, file.Table, file.DateColumns); err != nil {
+			t.Fatal(err)
+		}
+		if err := csvio.Write(&got, back.Table, back.DateColumns); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(orig.Bytes(), got.Bytes()) {
+			t.Fatalf("round trip not byte-identical:\n%q\nvs\n%q", orig.Bytes(), got.Bytes())
+		}
+
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Corrupt one byte: every byte of the file is covered by a check.
+		p := int(pos) % len(raw)
+		mut := append([]byte(nil), raw...)
+		mut[p] ^= 1 << (blockRows % 8)
+		bad := filepath.Join(dir, "bad"+FileSuffix)
+		if err := os.WriteFile(bad, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if br, err := Open(bad); err == nil {
+			caught := false
+			for _, meta := range br.Manifest().Columns {
+				if _, err := br.Column(meta.Name); err != nil {
+					caught = true
+					break
+				}
+			}
+			br.Close()
+			if !caught {
+				t.Fatalf("flipped bit at byte %d went undetected", p)
+			}
+		}
+		// Truncate: a prefix is never a valid segment.
+		if err := os.WriteFile(bad, raw[:p], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if br, err := Open(bad); err == nil {
+			br.Close()
+			t.Fatalf("truncation to %d of %d bytes went undetected", p, len(raw))
+		}
+	})
+}

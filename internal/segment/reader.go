@@ -1,0 +1,323 @@
+package segment
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"holistic/internal/arena"
+	"holistic/internal/core"
+)
+
+// Reader opens one segment file for lazy column access. Open verifies the
+// framing (magics, footer structural equation, manifest CRC) eagerly, and
+// each column load verifies its blocks' CRCs — so the cost of integrity
+// checking is proportional to the bytes a query actually touches.
+//
+// A Reader is safe for concurrent column loads: all file access goes
+// through ReadAt and the Reader itself is immutable after Open.
+type Reader struct {
+	f    *os.File
+	path string
+	size int64
+	man  Manifest
+	id   string
+}
+
+// Open opens and structurally verifies a segment file.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := verify(f, path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("segment: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// verify runs Open's structural checks; split out so errors can be wrapped
+// uniformly with the path.
+func verify(f *os.File, path string) (*Reader, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < int64(len(headerMagic))+footerLen {
+		return nil, fmt.Errorf("file of %d bytes is too small to be a segment", size)
+	}
+	var head [4]byte
+	if _, err := f.ReadAt(head[:], 0); err != nil {
+		return nil, err
+	}
+	if string(head[:]) != headerMagic {
+		return nil, fmt.Errorf("bad header magic %q", head[:])
+	}
+	var footer [footerLen]byte
+	if _, err := f.ReadAt(footer[:], size-footerLen); err != nil {
+		return nil, err
+	}
+	if got := binary.LittleEndian.Uint32(footer[20:]); got != footerMagic {
+		return nil, fmt.Errorf("bad footer magic %#x", got)
+	}
+	manifestOff := binary.LittleEndian.Uint64(footer[0:])
+	manifestLen := binary.LittleEndian.Uint64(footer[8:])
+	manifestCRC := binary.LittleEndian.Uint32(footer[16:])
+	// The structural equation pins the footer fields to the file size: a
+	// flipped byte in either field breaks it, so the (un-CRC'd) footer is
+	// still fully checked.
+	if manifestOff < uint64(len(headerMagic)) || manifestLen == 0 ||
+		manifestOff+manifestLen != uint64(size)-footerLen {
+		return nil, fmt.Errorf("footer framing inconsistent with file size %d", size)
+	}
+	mb := make([]byte, manifestLen)
+	if _, err := f.ReadAt(mb, int64(manifestOff)); err != nil {
+		return nil, err
+	}
+	if got := crc32.Checksum(mb, castagnoli); got != manifestCRC {
+		return nil, fmt.Errorf("manifest checksum mismatch (got %#x, want %#x)", got, manifestCRC)
+	}
+	var man Manifest
+	if err := json.Unmarshal(mb, &man); err != nil {
+		return nil, fmt.Errorf("decoding manifest: %w", err)
+	}
+	if man.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("unsupported format version %d", man.FormatVersion)
+	}
+	if man.Rows <= 0 || man.BlockRows <= 0 || man.StartRow < 0 {
+		return nil, fmt.Errorf("implausible manifest (rows=%d block_rows=%d start_row=%d)", man.Rows, man.BlockRows, man.StartRow)
+	}
+	// Block index validation: blocks tile [4, manifestOff) contiguously in
+	// manifest order, and each column's blocks tile its rows in
+	// BlockRows-sized pieces. With this, every byte of the file is covered
+	// by exactly one check.
+	off := int64(len(headerMagic))
+	for _, c := range man.Columns {
+		switch c.Encoding {
+		case EncInt64, EncFloat64, EncStrDict:
+		default:
+			return nil, fmt.Errorf("column %q: unknown encoding %q", c.Name, c.Encoding)
+		}
+		rows := 0
+		for bi, b := range c.Blocks {
+			if b.Offset != off || b.Length <= 0 {
+				return nil, fmt.Errorf("column %q block %d: offset %d, expected %d", c.Name, bi, b.Offset, off)
+			}
+			want := min(man.BlockRows, man.Rows-rows)
+			if b.Rows != want {
+				return nil, fmt.Errorf("column %q block %d: %d rows, expected %d", c.Name, bi, b.Rows, want)
+			}
+			rows += b.Rows
+			off += b.Length
+		}
+		if rows != man.Rows {
+			return nil, fmt.Errorf("column %q blocks cover %d rows, manifest says %d", c.Name, rows, man.Rows)
+		}
+	}
+	if off != int64(manifestOff) {
+		return nil, fmt.Errorf("blocks end at %d but manifest starts at %d", off, manifestOff)
+	}
+	return &Reader{f: f, path: path, size: size, man: man, id: segmentID(manifestCRC)}, nil
+}
+
+// ID returns the content-derived segment identity.
+func (r *Reader) ID() string { return r.id }
+
+// Path returns the file the reader was opened from.
+func (r *Reader) Path() string { return r.path }
+
+// Rows returns the segment's row count.
+func (r *Reader) Rows() int { return r.man.Rows }
+
+// StartRow returns the global position of the segment's first row.
+func (r *Reader) StartRow() int64 { return r.man.StartRow }
+
+// Manifest returns the segment's manifest (shared, not a copy; callers
+// must not mutate it).
+func (r *Reader) Manifest() *Manifest { return &r.man }
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// colData is a decoded column: exactly one of ints/floats/strs is set,
+// plus an optional null mask. It is the unit cached per (segment, column).
+type colData struct {
+	encoding string
+	date     bool
+	ints     []int64
+	floats   []float64
+	strs     []string
+	nulls    []bool // nil when the column has no NULLs in this segment
+}
+
+// bytes estimates the decoded column's resident size for cache accounting.
+func (d *colData) bytes() int64 {
+	total := int64(8*len(d.ints) + 8*len(d.floats) + len(d.nulls))
+	for _, s := range d.strs {
+		total += int64(16 + len(s))
+	}
+	return total
+}
+
+// column wraps decoded data into a core column.
+func (d *colData) column(name string) *core.Column {
+	switch d.encoding {
+	case EncInt64:
+		return core.NewInt64Column(name, d.ints, d.nulls)
+	case EncFloat64:
+		return core.NewFloat64Column(name, d.floats, d.nulls)
+	default:
+		return core.NewStringColumn(name, d.strs, d.nulls)
+	}
+}
+
+// meta returns the manifest entry for name, or nil.
+func (r *Reader) meta(name string) *ColumnMeta {
+	for i := range r.man.Columns {
+		if r.man.Columns[i].Name == name {
+			return &r.man.Columns[i]
+		}
+	}
+	return nil
+}
+
+// Column lazily loads one column into an arena-backed core column,
+// verifying each block's CRC as it is read.
+func (r *Reader) Column(name string) (*core.Column, error) {
+	d, err := r.load(name)
+	if err != nil {
+		return nil, err
+	}
+	return d.column(name), nil
+}
+
+// load reads and decodes one column.
+func (r *Reader) load(name string) (*colData, error) {
+	meta := r.meta(name)
+	if meta == nil {
+		return nil, fmt.Errorf("segment: %s: no column %q", r.path, name)
+	}
+	rows := r.man.Rows
+	d := &colData{encoding: meta.Encoding, date: meta.Date}
+	// Decoded values live in arena slabs: one allocation per column load
+	// regardless of block count, matching the build-phase allocation
+	// discipline of the tree layer.
+	switch meta.Encoding {
+	case EncInt64:
+		d.ints = arena.New[int64](rows).Alloc(rows)
+	case EncFloat64:
+		d.floats = arena.New[float64](rows).Alloc(rows)
+	case EncStrDict:
+		d.strs = arena.New[string](rows).Alloc(rows)
+	}
+	var maxLen int64
+	for _, b := range meta.Blocks {
+		maxLen = max(maxLen, b.Length)
+	}
+	raw := make([]byte, maxLen)
+	base := 0
+	for bi, b := range meta.Blocks {
+		buf := raw[:b.Length]
+		if _, err := r.f.ReadAt(buf, b.Offset); err != nil {
+			return nil, fmt.Errorf("segment: %s: column %q block %d: %w", r.path, name, bi, err)
+		}
+		if got := crc32.Checksum(buf, castagnoli); got != b.CRC {
+			return nil, fmt.Errorf("segment: %s: column %q block %d: checksum mismatch (got %#x, want %#x)", r.path, name, bi, got, b.CRC)
+		}
+		hadNull, err := r.decodeBlock(d, buf, base, b.Rows)
+		if err != nil {
+			return nil, fmt.Errorf("segment: %s: column %q block %d: %w", r.path, name, bi, err)
+		}
+		if hadNull {
+			if d.nulls == nil {
+				// First NULL: materialize the mask lazily so fully
+				// populated columns stay mask-free (the core fast path).
+				d.nulls = arena.New[bool](rows).Alloc(rows)
+			}
+			bm := buf[:(b.Rows+7)/8]
+			for i := 0; i < b.Rows; i++ {
+				if bm[i/8]&(1<<(i%8)) != 0 {
+					d.nulls[base+i] = true
+				}
+			}
+		}
+		base += b.Rows
+	}
+	return d, nil
+}
+
+// decodeBlock decodes one verified block's payload into d at row offset
+// base, reporting whether the block contains any NULL. All offsets are
+// bounds-checked: a structurally valid but content-corrupt block yields an
+// error, never a panic.
+func (r *Reader) decodeBlock(d *colData, buf []byte, base, rows int) (bool, error) {
+	bmLen := (rows + 7) / 8
+	if len(buf) < bmLen {
+		return false, fmt.Errorf("block of %d bytes cannot hold a %d-row null bitmap", len(buf), bmLen)
+	}
+	bm, payload := buf[:bmLen], buf[bmLen:]
+	hadNull := false
+	for i := 0; i < rows; i++ {
+		if bm[i/8]&(1<<(i%8)) != 0 {
+			hadNull = true
+			break
+		}
+	}
+	switch d.encoding {
+	case EncInt64, EncFloat64:
+		if len(payload) != 8*rows {
+			return false, fmt.Errorf("payload of %d bytes for %d fixed-width rows", len(payload), rows)
+		}
+		if d.encoding == EncInt64 {
+			for i := 0; i < rows; i++ {
+				d.ints[base+i] = int64(binary.LittleEndian.Uint64(payload[8*i:]))
+			}
+		} else {
+			for i := 0; i < rows; i++ {
+				d.floats[base+i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+			}
+		}
+	case EncStrDict:
+		if len(payload) < 4 {
+			return false, fmt.Errorf("string block too short for dictionary count")
+		}
+		dictCount := int(binary.LittleEndian.Uint32(payload))
+		if dictCount > rows {
+			return false, fmt.Errorf("dictionary of %d entries for %d rows", dictCount, rows)
+		}
+		p := 4
+		dict := make([]string, dictCount)
+		for j := 0; j < dictCount; j++ {
+			if p+4 > len(payload) {
+				return false, fmt.Errorf("string block truncated in dictionary entry %d", j)
+			}
+			sl := int(binary.LittleEndian.Uint32(payload[p:]))
+			p += 4
+			if sl < 0 || p+sl > len(payload) {
+				return false, fmt.Errorf("dictionary entry %d of %d bytes overruns block", j, sl)
+			}
+			dict[j] = string(payload[p : p+sl])
+			p += sl
+		}
+		if len(payload)-p != 4*rows {
+			return false, fmt.Errorf("code array of %d bytes for %d rows", len(payload)-p, rows)
+		}
+		for i := 0; i < rows; i++ {
+			code := int(binary.LittleEndian.Uint32(payload[p+4*i:]))
+			if bm[i/8]&(1<<(i%8)) != 0 {
+				continue // NULL rows carry code 0 by convention
+			}
+			if code >= dictCount {
+				return false, fmt.Errorf("row %d references dictionary code %d of %d", i, code, dictCount)
+			}
+			d.strs[base+i] = dict[code]
+		}
+	}
+	return hadNull, nil
+}

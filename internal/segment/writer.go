@@ -1,0 +1,232 @@
+package segment
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"unicode/utf8"
+
+	"holistic/internal/core"
+	"holistic/internal/csvio"
+)
+
+// Writer streams one table into a segment file. Data is written to a
+// temporary file in the target directory and atomically renamed into place
+// by Finish, so a crashed or aborted write never leaves a partial segment
+// behind — a property the resumable ingester leans on: any *.seg file that
+// exists is complete and verified.
+type Writer struct {
+	path      string
+	tmp       *os.File
+	bw        *bufio.Writer
+	off       int64
+	blockRows int
+	man       Manifest
+	wrote     bool
+	scratch   bytes.Buffer
+}
+
+// NewWriter opens a segment writer targeting path. blockRows <= 0 selects
+// DefaultBlockRows.
+func NewWriter(path string, blockRows int) (*Writer, error) {
+	if blockRows <= 0 {
+		blockRows = DefaultBlockRows
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".seg-tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("segment: creating temp file: %w", err)
+	}
+	w := &Writer{path: path, tmp: tmp, bw: bufio.NewWriter(tmp), blockRows: blockRows}
+	if _, err := w.bw.WriteString(headerMagic); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	w.off = int64(len(headerMagic))
+	w.man = Manifest{FormatVersion: FormatVersion, BlockRows: blockRows}
+	return w, nil
+}
+
+// WriteTable writes the file's table as this segment's contents. startRow
+// is the global position of the table's first row within the dataset.
+// WriteTable must be called exactly once before Finish.
+func (w *Writer) WriteTable(f *csvio.File, startRow int64) error {
+	if w.wrote {
+		return fmt.Errorf("segment: WriteTable called twice")
+	}
+	w.wrote = true
+	t := f.Table
+	if t.Rows() == 0 {
+		return fmt.Errorf("segment: refusing to write an empty segment")
+	}
+	w.man.Rows = t.Rows()
+	w.man.StartRow = startRow
+	for _, col := range t.Columns() {
+		// Column names travel through the JSON manifest, and Go's JSON
+		// encoder silently rewrites invalid UTF-8 to U+FFFD — which would
+		// break read-back identity. Reject instead of corrupting.
+		if !utf8.ValidString(col.Name()) {
+			return fmt.Errorf("segment: column name %q is not valid UTF-8", col.Name())
+		}
+		meta := ColumnMeta{Name: col.Name()}
+		switch col.Kind() {
+		case core.Int64:
+			meta.Encoding = EncInt64
+			meta.Date = f.DateColumns[col.Name()]
+		case core.Float64:
+			meta.Encoding = EncFloat64
+		case core.String:
+			meta.Encoding = EncStrDict
+		default:
+			return fmt.Errorf("segment: column %q has unsupported kind %v", col.Name(), col.Kind())
+		}
+		for lo := 0; lo < t.Rows(); lo += w.blockRows {
+			hi := min(lo+w.blockRows, t.Rows())
+			if err := w.writeBlock(&meta, col, lo, hi); err != nil {
+				return err
+			}
+		}
+		w.man.Columns = append(w.man.Columns, meta)
+	}
+	return nil
+}
+
+// writeBlock encodes rows [lo, hi) of col as one block and appends its
+// index entry to meta.
+func (w *Writer) writeBlock(meta *ColumnMeta, col *core.Column, lo, hi int) error {
+	rows := hi - lo
+	buf := &w.scratch
+	buf.Reset()
+	// Null bitmap: one bit per row, set = NULL.
+	bm := make([]byte, (rows+7)/8)
+	for i := lo; i < hi; i++ {
+		if col.IsNull(i) {
+			bm[(i-lo)/8] |= 1 << ((i - lo) % 8)
+		}
+	}
+	buf.Write(bm)
+	var u64 [8]byte
+	switch meta.Encoding {
+	case EncInt64:
+		for i := lo; i < hi; i++ {
+			binary.LittleEndian.PutUint64(u64[:], uint64(col.Int64(i)))
+			buf.Write(u64[:])
+		}
+	case EncFloat64:
+		for i := lo; i < hi; i++ {
+			binary.LittleEndian.PutUint64(u64[:], math.Float64bits(col.Float64(i)))
+			buf.Write(u64[:])
+		}
+	case EncStrDict:
+		// Per-block dictionary in first-occurrence order; NULL rows take
+		// code 0 (decoders consult the bitmap before the code).
+		dict := map[string]uint32{}
+		var order []string
+		codes := make([]uint32, rows)
+		for i := lo; i < hi; i++ {
+			if col.IsNull(i) {
+				continue
+			}
+			s := col.StringAt(i)
+			code, ok := dict[s]
+			if !ok {
+				code = u32(len(order))
+				dict[s] = code
+				order = append(order, s)
+			}
+			codes[i-lo] = code
+		}
+		var u4 [4]byte
+		binary.LittleEndian.PutUint32(u4[:], u32(len(order)))
+		buf.Write(u4[:])
+		for _, s := range order {
+			binary.LittleEndian.PutUint32(u4[:], u32(len(s)))
+			buf.Write(u4[:])
+			buf.WriteString(s)
+		}
+		for _, c := range codes {
+			binary.LittleEndian.PutUint32(u4[:], c)
+			buf.Write(u4[:])
+		}
+	}
+	b := buf.Bytes()
+	if _, err := w.bw.Write(b); err != nil {
+		return err
+	}
+	meta.Blocks = append(meta.Blocks, BlockMeta{
+		Offset: w.off,
+		Length: int64(len(b)),
+		Rows:   rows,
+		CRC:    crc32.Checksum(b, castagnoli),
+	})
+	w.off += int64(len(b))
+	return nil
+}
+
+// Finish writes the manifest and footer, syncs, and atomically renames the
+// temporary file into place. It returns the segment's content-derived ID.
+func (w *Writer) Finish() (string, error) {
+	if !w.wrote {
+		w.Abort()
+		return "", fmt.Errorf("segment: Finish before WriteTable")
+	}
+	mb, err := json.Marshal(&w.man)
+	if err != nil {
+		w.Abort()
+		return "", err
+	}
+	manifestOff := w.off
+	manifestCRC := crc32.Checksum(mb, castagnoli)
+	var footer [footerLen]byte
+	binary.LittleEndian.PutUint64(footer[0:], uint64(manifestOff))
+	binary.LittleEndian.PutUint64(footer[8:], uint64(len(mb)))
+	binary.LittleEndian.PutUint32(footer[16:], manifestCRC)
+	binary.LittleEndian.PutUint32(footer[20:], footerMagic)
+	if _, err := w.bw.Write(mb); err != nil {
+		w.Abort()
+		return "", err
+	}
+	if _, err := w.bw.Write(footer[:]); err != nil {
+		w.Abort()
+		return "", err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.Abort()
+		return "", err
+	}
+	if err := w.tmp.Sync(); err != nil {
+		w.Abort()
+		return "", err
+	}
+	tmpName := w.tmp.Name()
+	if err := w.tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", err
+	}
+	w.tmp = nil
+	if err := os.Rename(tmpName, w.path); err != nil {
+		os.Remove(tmpName)
+		return "", err
+	}
+	return segmentID(manifestCRC), nil
+}
+
+// Abort discards the temporary file. Safe to call after a failed Finish.
+func (w *Writer) Abort() {
+	if w.tmp != nil {
+		name := w.tmp.Name()
+		w.tmp.Close()
+		os.Remove(name)
+		w.tmp = nil
+	}
+}
+
+// segmentID renders the content-derived segment identity.
+func segmentID(manifestCRC uint32) string {
+	return fmt.Sprintf("%08x", manifestCRC)
+}

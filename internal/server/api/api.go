@@ -41,6 +41,12 @@ const (
 	CodeNotFound ErrorCode = "not_found"
 	// CodeMethodNotAllowed: known route, wrong HTTP method (HTTP 405).
 	CodeMethodNotAllowed ErrorCode = "method_not_allowed"
+	// CodeConflict: the request races a running operation, e.g. starting
+	// an ingest for a dataset that is already ingesting (HTTP 409).
+	CodeConflict ErrorCode = "conflict"
+	// CodePayloadTooLarge: the request body exceeded the server's upload
+	// limit (HTTP 413).
+	CodePayloadTooLarge ErrorCode = "payload_too_large"
 	// CodeResourceExhausted: no evaluation slot before the deadline
 	// (HTTP 503).
 	CodeResourceExhausted ErrorCode = "resource_exhausted"
@@ -99,10 +105,60 @@ type ExplainResponse struct {
 	Plan string `json:"plan"`
 }
 
-// RegisterRequest loads a dataset from a CSV file on the server's
-// filesystem (the load-from-path form of dataset registration).
+// Dataset source kinds for RegisterRequest.Source.
+const (
+	// SourceCSV (or an empty Source) loads a CSV file from Path.
+	SourceCSV = "csv"
+	// SourceDir registers an existing segment dataset directory (Dir).
+	SourceDir = "dir"
+	// SourceIngest ingests the CSV at Path into the segment directory Dir
+	// asynchronously; poll GET /v1/datasets/{name}/ingest for progress.
+	SourceIngest = "ingest"
+)
+
+// Ingest states reported by IngestStatus.State.
+const (
+	IngestRunning = "running"
+	IngestDone    = "done"
+	IngestFailed  = "failed"
+)
+
+// RegisterRequest is the JSON form of dataset registration: a CSV file on
+// the server's filesystem (Source csv/empty), an existing out-of-core
+// segment directory (Source dir), or an asynchronous CSV→segments ingest
+// (Source ingest).
 type RegisterRequest struct {
-	Path string `json:"path"`
+	// Path is the server-side CSV file (sources csv and ingest).
+	Path string `json:"path,omitempty"`
+	// Source selects the registration kind; empty means csv.
+	Source string `json:"source,omitempty"`
+	// Dir is the segment dataset directory (sources dir and ingest).
+	Dir string `json:"dir,omitempty"`
+	// RowsPerSegment overrides the ingest interval size (source ingest;
+	// <= 0 selects the server default).
+	RowsPerSegment int `json:"rows_per_segment,omitempty"`
+	// BlockRows overrides the segment block granularity (source ingest).
+	BlockRows int `json:"block_rows,omitempty"`
+}
+
+// IngestStatus is the GET /v1/datasets/{name}/ingest response and the 202
+// body of an accepted source=ingest registration.
+type IngestStatus struct {
+	// State is running, done or failed.
+	State string `json:"state"`
+	// Error carries the failure message when State is failed.
+	Error string `json:"error,omitempty"`
+	// Planned reports whether the planning pass finished; totals are zero
+	// until it has.
+	Planned        bool  `json:"planned"`
+	TotalIntervals int   `json:"total_intervals"`
+	DoneIntervals  int   `json:"done_intervals"`
+	TotalRows      int64 `json:"total_rows"`
+	DoneRows       int64 `json:"done_rows"`
+	// Resumed counts intervals inherited from a previous run's state.
+	Resumed int `json:"resumed"`
+	// Dataset is the registered dataset once State is done.
+	Dataset *DatasetInfo `json:"dataset,omitempty"`
 }
 
 // DatasetInfo describes one registered dataset. Version starts at 1 and
@@ -112,6 +168,9 @@ type DatasetInfo struct {
 	Version int64    `json:"version"`
 	Rows    int      `json:"rows"`
 	Columns []string `json:"columns"`
+	// Segments is the segment-file count for datasets materialized from a
+	// segment directory; 0 for plain CSV registrations.
+	Segments int `json:"segments,omitempty"`
 }
 
 // DatasetList is the GET /v1/datasets response.
@@ -248,6 +307,38 @@ func (c *Client) RegisterPath(ctx context.Context, name, path string) (*DatasetI
 		return nil, err
 	}
 	return &info, nil
+}
+
+// RegisterDir registers (or reloads) a dataset from a segment dataset
+// directory on the server's filesystem.
+func (c *Client) RegisterDir(ctx context.Context, name, dir string) (*DatasetInfo, error) {
+	var info DatasetInfo
+	if err := c.doJSON(ctx, http.MethodPost, PathDatasets+"/"+name, RegisterRequest{Source: SourceDir, Dir: dir}, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// StartIngest begins an asynchronous ingest of the server-side CSV at path
+// into the segment directory dir, registering the dataset under name on
+// completion. The returned status is the initial snapshot; poll
+// IngestStatus until State leaves IngestRunning.
+func (c *Client) StartIngest(ctx context.Context, name string, req RegisterRequest) (*IngestStatus, error) {
+	req.Source = SourceIngest
+	var st IngestStatus
+	if err := c.doJSON(ctx, http.MethodPost, PathDatasets+"/"+name, req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// IngestStatus fetches the progress of dataset name's ingest.
+func (c *Client) IngestStatus(ctx context.Context, name string) (*IngestStatus, error) {
+	var st IngestStatus
+	if err := c.doJSON(ctx, http.MethodGet, PathDatasets+"/"+name+"/ingest", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }
 
 // Datasets lists the registered datasets.

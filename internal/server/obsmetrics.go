@@ -6,6 +6,7 @@ import (
 
 	"holistic/internal/arena"
 	"holistic/internal/core"
+	"holistic/internal/ingest"
 	"holistic/internal/obs"
 )
 
@@ -40,6 +41,10 @@ import (
 //	windowd_pool_bytes_in_flight{pool}            gauge  (func)
 //	windowd_mst_batch_queries                     counter (func)
 //	windowd_mst_batch_dedup_hits                  counter (func)
+//	windowd_ingest_runs_total{state}              counter (func)
+//	windowd_ingest_rows_total                     counter (func)
+//	windowd_ingest_segments_written_total         counter (func)
+//	windowd_ingest_intervals_resumed_total        counter (func)
 type serverObs struct {
 	reg *obs.Registry
 
@@ -156,6 +161,29 @@ func newServerObs(s *Server) *serverObs {
 	reg.NewCounterFunc("windowd_mst_batch_dedup_hits",
 		"Row evaluations answered by reusing the previous row's identical batched query set.", nil, func() []obs.Sample {
 			return []obs.Sample{{Value: float64(core.BatchSnapshot().DedupHits)}}
+		})
+
+	reg.NewCounterFunc("windowd_ingest_runs_total",
+		"Ingest runs by outcome: started, completed, failed.",
+		[]string{"state"}, func() []obs.Sample {
+			st := ingest.Snapshot()
+			return []obs.Sample{
+				{Labels: []string{"started"}, Value: float64(st.Started)},
+				{Labels: []string{"completed"}, Value: float64(st.Completed)},
+				{Labels: []string{"failed"}, Value: float64(st.Failed)},
+			}
+		})
+	reg.NewCounterFunc("windowd_ingest_rows_total",
+		"Data rows written into segment files by the ingest pipeline.", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(ingest.Snapshot().RowsIngested)}}
+		})
+	reg.NewCounterFunc("windowd_ingest_segments_written_total",
+		"Segment files written by the ingest pipeline.", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(ingest.Snapshot().SegmentsWritten)}}
+		})
+	reg.NewCounterFunc("windowd_ingest_intervals_resumed_total",
+		"Intervals skipped on resume because a previous run completed them.", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(ingest.Snapshot().IntervalsResumed)}}
 		})
 
 	reg.NewCounterFunc("windowd_pool_gets_total",

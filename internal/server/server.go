@@ -39,7 +39,10 @@ import (
 	"holistic/internal/arena"
 	"holistic/internal/core"
 	"holistic/internal/csvio"
+	"holistic/internal/ingest"
+	"holistic/internal/mst"
 	"holistic/internal/obs"
+	"holistic/internal/segment"
 	"holistic/internal/server/api"
 	"holistic/internal/sqlparse"
 	"holistic/internal/treecache"
@@ -64,6 +67,15 @@ type Config struct {
 	// tree (including cache_key attributes, so a cold-cache build is
 	// distinguishable from a slow probe). <= 0 disables the log.
 	SlowQuery time.Duration
+	// MaxUploadBytes caps the request body of dataset registration (CSV
+	// uploads and JSON register requests). Oversized uploads answer 413
+	// with the payload_too_large code. <= 0 means 256 MiB.
+	MaxUploadBytes int64
+	// SpillRows, when > 0, makes the operator build merge sort trees as
+	// forests of SpillRows-row subtrees (mst.Options.SpillRows), bounding
+	// the largest contiguous build and enabling out-of-core-friendly
+	// incremental tree construction. 0 keeps monolithic trees.
+	SpillRows int
 	// Logger receives structured request logs; nil means slog.Default().
 	Logger *slog.Logger
 }
@@ -77,6 +89,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 256 << 20
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -98,6 +113,9 @@ type DatasetInfo struct {
 	Version int64    `json:"version"`
 	Rows    int      `json:"rows"`
 	Columns []string `json:"columns"`
+	// Segments is the segment-file count for datasets materialized from a
+	// segment directory; 0 for plain CSV registrations.
+	Segments int `json:"segments,omitempty"`
 }
 
 // Server is the windowd request handler.
@@ -111,8 +129,21 @@ type Server struct {
 
 	mu       sync.RWMutex
 	datasets map[string]*dataset
+	jobs     map[string]*ingestJob
 
 	mux *http.ServeMux
+}
+
+// ingestJob is one asynchronous source→dataset ingest started by
+// POST /v1/datasets/{name} with source=ingest. Progress is polled live off
+// the Ingester; the outcome fields are set exactly once before done closes.
+type ingestJob struct {
+	ing  *ingest.Ingester
+	done chan struct{}
+
+	mu   sync.Mutex
+	err  error
+	info *DatasetInfo
 }
 
 // New builds a server from cfg.
@@ -125,6 +156,7 @@ func New(cfg Config) *Server {
 		limiter:  make(chan struct{}, cfg.MaxConcurrent),
 		metrics:  newMetrics(),
 		datasets: make(map[string]*dataset),
+		jobs:     make(map[string]*ingestJob),
 	}
 	s.obs = newServerObs(s)
 	mux := http.NewServeMux()
@@ -133,6 +165,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET "+api.PathMetrics, s.handleMetrics)
 	mux.HandleFunc("GET "+api.PathDatasets, s.handleListDatasets)
 	mux.HandleFunc("POST "+api.PathDatasets+"/{name}", s.handleRegister)
+	mux.HandleFunc("GET "+api.PathDatasets+"/{name}/ingest", s.handleIngestStatus)
 	mux.HandleFunc("POST "+api.PathQuery, s.handleQuery)
 	mux.HandleFunc("POST "+api.PathExplain, s.handleExplain)
 	// Human-facing debug page; not part of the versioned API.
@@ -231,10 +264,14 @@ func routeOf(path string) string {
 		return path
 	}
 	if strings.HasPrefix(p, "/datasets/") {
-		if strings.HasPrefix(path, "/v1/") {
-			return "/v1/datasets/{name}"
+		suffix := ""
+		if strings.HasSuffix(p, "/ingest") {
+			suffix = "/ingest"
 		}
-		return "/datasets/{name}"
+		if strings.HasPrefix(path, "/v1/") {
+			return "/v1/datasets/{name}" + suffix
+		}
+		return "/datasets/{name}" + suffix
 	}
 	return "(unmatched)"
 }
@@ -269,7 +306,7 @@ func (s *Server) RegisterCSV(name string, r io.Reader) (DatasetInfo, error) {
 	if err != nil {
 		return DatasetInfo{}, fmt.Errorf("parse csv: %w", err)
 	}
-	return s.install(name, file), nil
+	return s.install(name, file, 0), nil
 }
 
 // RegisterPath loads a CSV file from the server's filesystem.
@@ -282,7 +319,25 @@ func (s *Server) RegisterPath(name, path string) (DatasetInfo, error) {
 	return s.RegisterCSV(name, f)
 }
 
-func (s *Server) install(name string, file *csvio.File) DatasetInfo {
+// RegisterDir materializes a segment dataset directory (written by the
+// ingest pipeline or windowcli -ingest) and registers it under name. Column
+// loads go through the tree cache under content-addressed per-segment keys,
+// so re-registering a partially changed directory only rebuilds the columns
+// of segments whose content actually changed.
+func (s *Server) RegisterDir(name, dir string) (DatasetInfo, error) {
+	d, err := segment.OpenDir(dir)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	defer d.Close()
+	file, err := d.File(s.cache)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	return s.install(name, file, len(d.Segments())), nil
+}
+
+func (s *Server) install(name string, file *csvio.File, segments int) DatasetInfo {
 	cols := make([]string, 0, len(file.Table.Columns()))
 	for _, c := range file.Table.Columns() {
 		cols = append(cols, c.Name())
@@ -298,10 +353,11 @@ func (s *Server) install(name string, file *csvio.File) DatasetInfo {
 		file:  file,
 		scope: fmt.Sprintf("%s@v%d", name, version),
 		info: DatasetInfo{
-			Name:    name,
-			Version: version,
-			Rows:    file.Table.Rows(),
-			Columns: cols,
+			Name:     name,
+			Version:  version,
+			Rows:     file.Table.Rows(),
+			Columns:  cols,
+			Segments: segments,
 		},
 	}
 	s.datasets[name] = ds
@@ -391,6 +447,9 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	}
 	bs := core.BatchSnapshot()
 	fmt.Fprintf(&b, "mst-batch: queries=%d dedup_hits=%d\n", bs.Queries, bs.DedupHits)
+	is := ingest.Snapshot()
+	fmt.Fprintf(&b, "ingest: started=%d completed=%d failed=%d rows=%d segments=%d resumed=%d\n",
+		is.Started, is.Completed, is.Failed, is.RowsIngested, is.SegmentsWritten, is.IntervalsResumed)
 	s.mu.RLock()
 	names := make([]*dataset, 0, len(s.datasets))
 	for _, ds := range s.datasets {
@@ -398,8 +457,8 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	for _, ds := range names {
-		fmt.Fprintf(&b, "dataset %s: version=%d rows=%d columns=%d\n",
-			ds.info.Name, ds.info.Version, ds.info.Rows, len(ds.info.Columns))
+		fmt.Fprintf(&b, "dataset %s: version=%d rows=%d columns=%d segments=%d\n",
+			ds.info.Name, ds.info.Version, ds.info.Rows, len(ds.info.Columns), ds.info.Segments)
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, b.String())
@@ -415,35 +474,164 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
 }
 
+// registerError classifies a registration failure: an upload that tripped
+// the MaxBytesReader cap is 413 payload_too_large, anything else 400.
+func registerError(name string, err error) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return httpErrorf(http.StatusRequestEntityTooLarge, api.CodePayloadTooLarge,
+			"register %q: request body exceeds the %d-byte upload limit", name, mbe.Limit)
+	}
+	return httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "register %q: %v", name, err)
+}
+
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if name == "" {
 		writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "missing dataset name"))
 		return
 	}
-	var info DatasetInfo
-	var err error
-	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
-		var req struct {
-			Path string `json:"path"`
-		}
-		if derr := json.NewDecoder(r.Body).Decode(&req); derr != nil {
-			writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "bad register request: %v", derr))
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	if !strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		info, err := s.RegisterCSV(name, body)
+		if err != nil {
+			writeError(w, registerError(name, err))
 			return
 		}
+		writeJSON(w, http.StatusOK, info)
+		return
+	}
+	var req api.RegisterRequest
+	if derr := json.NewDecoder(body).Decode(&req); derr != nil {
+		writeError(w, registerError(name, derr))
+		return
+	}
+	var info DatasetInfo
+	var err error
+	switch req.Source {
+	case "", api.SourceCSV:
 		if req.Path == "" {
 			writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "register request needs a path (or upload CSV directly)"))
 			return
 		}
 		info, err = s.RegisterPath(name, req.Path)
-	} else {
-		info, err = s.RegisterCSV(name, r.Body)
+	case api.SourceDir:
+		if req.Dir == "" {
+			writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "source=dir needs dir (a segment dataset directory)"))
+			return
+		}
+		info, err = s.RegisterDir(name, req.Dir)
+	case api.SourceIngest:
+		s.startIngest(w, r, name, req)
+		return
+	default:
+		writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument,
+			"unknown source %q (want %q, %q or %q)", req.Source, api.SourceCSV, api.SourceDir, api.SourceIngest))
+		return
 	}
 	if err != nil {
-		writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "register %q: %v", name, err))
+		writeError(w, registerError(name, err))
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// startIngest launches an asynchronous CSV→segment-directory ingest and
+// answers 202 with the initial status. The work continues after this
+// request returns (the goroutine detaches from the request's cancellation
+// but keeps its values), and the finished dataset registers itself under
+// name. Progress is served by GET /v1/datasets/{name}/ingest.
+func (s *Server) startIngest(w http.ResponseWriter, r *http.Request, name string, req api.RegisterRequest) {
+	if req.Path == "" || req.Dir == "" {
+		writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument,
+			"source=ingest needs path (CSV source) and dir (dataset directory)"))
+		return
+	}
+	job := &ingestJob{
+		ing: ingest.New(req.Path, req.Dir, ingest.Options{
+			RowsPerSegment: req.RowsPerSegment,
+			BlockRows:      req.BlockRows,
+		}),
+		done: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if prev, ok := s.jobs[name]; ok {
+		select {
+		case <-prev.done:
+			// Finished (or failed): a new ingest may replace it.
+		default:
+			s.mu.Unlock()
+			writeError(w, httpErrorf(http.StatusConflict, api.CodeConflict,
+				"an ingest for dataset %q is already running", name))
+			return
+		}
+	}
+	s.jobs[name] = job
+	s.mu.Unlock()
+	s.log.Info("ingest started", "dataset", name, "source", req.Path, "dir", req.Dir)
+	go s.runIngest(context.WithoutCancel(r.Context()), name, req.Dir, job)
+	writeJSON(w, http.StatusAccepted, jobStatus(job))
+}
+
+func (s *Server) runIngest(ctx context.Context, name, dir string, job *ingestJob) {
+	res, err := job.ing.Run(ctx)
+	var info DatasetInfo
+	if err == nil {
+		info, err = s.RegisterDir(name, dir)
+	}
+	job.mu.Lock()
+	job.err = err
+	if err == nil {
+		job.info = &info
+	}
+	job.mu.Unlock()
+	close(job.done)
+	if err != nil {
+		s.log.Error("ingest failed", "dataset", name, "err", err)
+		return
+	}
+	s.log.Info("ingest complete", "dataset", name,
+		"rows", res.Rows, "segments", res.Segments, "resumed", res.Resumed)
+}
+
+// ingestStatusResponse mirrors api.IngestStatus (kept in sync by the
+// shared-client tests). The embedded Progress flattens into the envelope.
+type ingestStatusResponse struct {
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	ingest.Progress
+	Dataset *DatasetInfo `json:"dataset,omitempty"`
+}
+
+// jobStatus snapshots a job for the wire.
+func jobStatus(job *ingestJob) ingestStatusResponse {
+	st := ingestStatusResponse{State: api.IngestRunning, Progress: job.ing.Progress()}
+	select {
+	case <-job.done:
+		job.mu.Lock()
+		if job.err != nil {
+			st.State = api.IngestFailed
+			st.Error = job.err.Error()
+		} else {
+			st.State = api.IngestDone
+			st.Dataset = job.info
+		}
+		job.mu.Unlock()
+	default:
+	}
+	return st
+}
+
+func (s *Server) handleIngestStatus(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	job, ok := s.jobs[name]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, httpErrorf(http.StatusNotFound, api.CodeNotFound, "no ingest for dataset %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobStatus(job))
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -552,6 +740,7 @@ func (s *Server) query(parent context.Context, sql string, timeoutMillis int64, 
 	root.Set("sql", sql)
 	start := time.Now()
 	res, err := sqlparse.Execute(q, map[string]*core.Table{q.From: ds.file.Table}, core.Options{
+		Tree:       mst.Options{SpillRows: s.cfg.SpillRows},
 		Context:    ctx,
 		Cache:      s.cache,
 		CacheScope: ds.scope,

@@ -7,7 +7,11 @@
 # Usage: scripts/benchcompare.sh [base-ref]
 #
 # Environment knobs:
-#   PKGS       packages to benchmark   (default "./internal/mst/ ./internal/core/")
+#   PKGS       packages to benchmark   (default "./internal/mst/ ./internal/core/
+#                                       ./internal/segment/ ./internal/ingest/";
+#                                       packages absent from a tree are skipped
+#                                       there, so new packages don't break the
+#                                       base run)
 #   BENCH      -bench regexp           (default ".")
 #   COUNT      runs per benchmark      (default 6, medians are taken)
 #   BENCHTIME  -benchtime per run      (default "0.5s")
@@ -21,7 +25,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 base_ref="${1:-$(git merge-base HEAD origin/main 2>/dev/null || git merge-base HEAD main)}"
-PKGS=${PKGS:-"./internal/mst/ ./internal/core/"}
+PKGS=${PKGS:-"./internal/mst/ ./internal/core/ ./internal/segment/ ./internal/ingest/"}
 BENCH=${BENCH:-"."}
 COUNT=${COUNT:-6}
 BENCHTIME=${BENCHTIME:-"0.5s"}
@@ -40,9 +44,20 @@ echo "benchcompare: base $(git rev-parse --short "$base_ref") vs HEAD $(git rev-
 git worktree add --quiet --force --detach "$worktree" "$base_ref" >&2
 
 run_bench() {
-    # shellcheck disable=SC2086  # PKGS is a deliberate word list
-    (cd "$1" && go test -run='^$' -bench="$BENCH" -benchmem \
-        -count="$COUNT" -benchtime="$BENCHTIME" $PKGS)
+    # Keep only the packages that exist in this tree: the base revision may
+    # predate packages added by the PR under comparison (their benchmarks
+    # then show up as new on the HEAD side instead of failing the base run).
+    local tree="$1" pkgs="" p
+    for p in $PKGS; do
+        [[ -d "$tree/${p#./}" ]] && pkgs+="$p "
+    done
+    if [[ -z "$pkgs" ]]; then
+        echo "benchcompare: no benchmark packages in $tree" >&2
+        return 0
+    fi
+    # shellcheck disable=SC2086  # pkgs is a deliberate word list
+    (cd "$tree" && go test -run='^$' -bench="$BENCH" -benchmem \
+        -count="$COUNT" -benchtime="$BENCHTIME" $pkgs)
 }
 
 echo "benchcompare: benchmarking base..." >&2

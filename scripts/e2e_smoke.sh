@@ -4,7 +4,10 @@
 # is served from the structure cache (hits up, no new builds). Also checks
 # /statusz, the /v1/metrics exposition (core series present and non-zero),
 # the deprecated unversioned aliases, the windowcli -server and -trace
-# modes, and graceful shutdown.
+# modes, the out-of-core path (windowcli -ingest into a multi-segment
+# directory, segmented answers byte-identical to in-RAM, source=dir
+# registration, async server-side ingest with progress polling and ingest
+# metrics), and graceful shutdown.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -96,6 +99,49 @@ cli_out=$("${TMPDIR:-/tmp}/windowcli" -server "$base" -trace \
 printf '%s\n' "$cli_out" | head -1 | grep -q '^cd$' || { echo "FAIL: windowcli -server output: $cli_out"; exit 1; }
 [ "$(printf '%s\n' "$cli_out" | wc -l)" -eq 501 ]   || { echo "FAIL: windowcli row count"; exit 1; }
 grep -q 'probe' "$tmp/trace.log" || { echo "FAIL: windowcli -trace printed no span tree"; cat "$tmp/trace.log"; exit 1; }
+
+# Out-of-core datasets: ingest the CSV into a multi-segment directory with
+# windowcli, then query the directory locally and compare byte-for-byte
+# with the in-RAM answer over the same source.
+oq="select d, sum(v) over (order by d rows between 99 preceding and current row) as s from csv"
+"${TMPDIR:-/tmp}/windowcli" -i "$tmp/data.csv" -ingest "$tmp/t.seg" -rows-per-segment 125 2> "$tmp/ingest.log"
+segs=$(ls "$tmp/t.seg"/*.seg | wc -l)
+[ "$segs" -ge 4 ] || { echo "FAIL: ingest produced $segs segments, want >= 4"; cat "$tmp/ingest.log"; exit 1; }
+grep -q 'ingested 500 rows into 4 segments' "$tmp/ingest.log" || { echo "FAIL: ingest summary"; cat "$tmp/ingest.log"; exit 1; }
+"${TMPDIR:-/tmp}/windowcli" -i "$tmp/data.csv" -query "$oq" > "$tmp/ram.csv"
+"${TMPDIR:-/tmp}/windowcli" -i "$tmp/t.seg" -query "$oq" > "$tmp/seg.csv"
+cmp -s "$tmp/ram.csv" "$tmp/seg.csv" || { echo "FAIL: segmented query differs from in-RAM answer"; diff "$tmp/ram.csv" "$tmp/seg.csv" | head; exit 1; }
+
+# Register the segment directory over the API; the segmented dataset must
+# answer the original query identically to the in-RAM dataset t.
+reg=$(curl -sf "$base/v1/datasets/tseg" -H 'Content-Type: application/json' -d "{\"source\":\"dir\",\"dir\":\"$tmp/t.seg\"}")
+printf '%s' "$reg" | grep -q '"segments":4' || { echo "FAIL: dir registration: $reg"; exit 1; }
+a=$(curl -sf "$base/v1/query" -H 'Content-Type: application/json' -d "$query" | sed 's/"stats".*//')
+b=$(curl -sf "$base/v1/query" -H 'Content-Type: application/json' -d "${query/from t/from tseg}" | sed 's/"stats".*//')
+[ "$a" = "$b" ] || { echo "FAIL: server segmented query differs from in-RAM dataset"; exit 1; }
+curl -sf "$base/statusz" | grep -q 'dataset tseg: .*segments=4' || { echo "FAIL: statusz lacks segment count"; exit 1; }
+
+# Asynchronous server-side ingest with progress polling.
+start=$(curl -sf "$base/v1/datasets/t2" -H 'Content-Type: application/json' \
+    -d "{\"source\":\"ingest\",\"path\":\"$tmp/data.csv\",\"dir\":\"$tmp/t2.seg\",\"rows_per_segment\":125}")
+printf '%s' "$start" | grep -q '"state"' || { echo "FAIL: ingest start: $start"; exit 1; }
+state=""; st=""
+for _ in $(seq 1 100); do
+    st=$(curl -sf "$base/v1/datasets/t2/ingest")
+    state=$(printf '%s' "$st" | grep -o '"state":"[a-z]*"' | cut -d'"' -f4)
+    [ "$state" = "done" ] && break
+    [ "$state" = "failed" ] && { echo "FAIL: server ingest failed: $st"; exit 1; }
+    sleep 0.1
+done
+[ "$state" = "done" ] || { echo "FAIL: server ingest never finished: $st"; exit 1; }
+printf '%s' "$st" | grep -q '"done_intervals":4' || { echo "FAIL: ingest progress: $st"; exit 1; }
+curl -sf "$base/v1/query" -H 'Content-Type: application/json' -d "${query/from t/from t2}" | grep -q '"med"' \
+    || { echo "FAIL: ingested dataset t2 does not answer"; exit 1; }
+
+# Ingest metric families must now be live.
+metrics=$(curl -sf "$base/v1/metrics")
+metric_positive 'windowd_ingest_runs_total{state="completed"}' || { echo "FAIL: ingest run metric missing"; exit 1; }
+metric_positive 'windowd_ingest_segments_written_total' || { echo "FAIL: ingest segment metric missing"; exit 1; }
 
 kill "$pid"
 wait "$pid" 2>/dev/null || true
