@@ -24,6 +24,13 @@
 //
 //	windowcli -i lineitem.csv -ingest lineitem.seg/ -rows-per-segment 100000
 //	windowcli -i lineitem.seg/ -query "select ... from csv"
+//
+// Live mutation: upload a dataset with -key to give it a mutation key
+// column, then stream CSV rows into it with -append (one atomic batch per
+// invocation, no reload):
+//
+//	windowcli -server http://127.0.0.1:8080 -dataset orders -key o_id -i orders.csv
+//	windowcli -server http://127.0.0.1:8080 -dataset orders -append -i new_orders.csv
 package main
 
 import (
@@ -67,6 +74,8 @@ var (
 	timeoutMS = flag.Int64("timeout-ms", 0, "with -server: per-query timeout in milliseconds (0 = server default)")
 	ingestTo  = flag.String("ingest", "", "ingest the CSV at -i into this segment dataset directory with live progress (with -server: server-side ingest registered as -dataset)")
 	segRows   = flag.Int("rows-per-segment", 0, "with -ingest: rows per segment file (0 = default)")
+	keyCol    = flag.String("key", "", "with -server -dataset uploads: mutation key column (enables upserts and deletes on the dataset)")
+	appendCSV = flag.Bool("append", false, "with -server -dataset: apply the CSV rows at -i as one atomic append batch to the live dataset instead of reloading it")
 )
 
 func fail(err error) {
@@ -226,9 +235,53 @@ func remoteIngest(ctx context.Context, c *api.Client) error {
 	return nil
 }
 
+// remoteAppend reads the CSV at -i (header plus rows, same text forms as a
+// dataset upload) and applies its rows as one atomic append batch to the
+// live dataset -dataset, advancing its epoch by one.
+func remoteAppend(ctx context.Context, c *api.Client) error {
+	if *dataset == "" {
+		return fmt.Errorf("-append needs -dataset")
+	}
+	var src io.Reader = os.Stdin
+	if *input != "" && *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	records, err := csv.NewReader(src).ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(records) < 2 {
+		return fmt.Errorf("-append needs a CSV header plus at least one row")
+	}
+	header := records[0]
+	muts := make([]api.MutationSpec, 0, len(records)-1)
+	for _, rec := range records[1:] {
+		row := make(map[string]string, len(header))
+		for i, col := range header {
+			if i < len(rec) && rec[i] != "" {
+				row[col] = rec[i]
+			}
+		}
+		muts = append(muts, api.MutationSpec{Op: api.OpAppend, Row: row})
+	}
+	resp, err := c.Mutate(ctx, *dataset, api.MutateRequest{Mutations: muts})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "windowcli: appended %d rows to %s (epoch %d, %d rows live)\n",
+		resp.Applied, *dataset, resp.Epoch, resp.Rows)
+	return nil
+}
+
 // runRemote drives a windowd server through the shared api client: it
-// optionally uploads -i as -dataset (or runs a server-side -ingest), then
-// runs -query (or -explain) and writes the result as CSV.
+// optionally uploads -i as -dataset (or runs a server-side -ingest), applies
+// -append batches to live datasets, then runs -query (or -explain) and
+// writes the result as CSV.
 func runRemote() error {
 	c := &api.Client{BaseURL: *server}
 	ctx := context.Background()
@@ -236,14 +289,24 @@ func runRemote() error {
 		if err := remoteIngest(ctx, c); err != nil {
 			return err
 		}
+	} else if *appendCSV {
+		if err := remoteAppend(ctx, c); err != nil {
+			return err
+		}
 	} else if *dataset != "" && *input != "" && *input != "-" {
 		data, err := os.ReadFile(*input)
 		if err != nil {
 			return err
 		}
-		info, err := c.UploadCSV(ctx, *dataset, data)
-		if err != nil {
-			return err
+		var info *api.DatasetInfo
+		var err2 error
+		if *keyCol != "" {
+			info, err2 = c.UploadCSVKeyed(ctx, *dataset, *keyCol, data)
+		} else {
+			info, err2 = c.UploadCSV(ctx, *dataset, data)
+		}
+		if err2 != nil {
+			return err2
 		}
 		fmt.Fprintf(os.Stderr, "windowcli: uploaded %s v%d (%d rows)\n", info.Name, info.Version, info.Rows)
 	}

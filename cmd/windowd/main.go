@@ -6,8 +6,15 @@
 // name=dir, or POST with {"source":"dir","dir":...}), and the server
 // ingests CSVs into segment directories asynchronously (POST with
 // {"source":"ingest","path":...,"dir":...}; progress at
-// GET /v1/datasets/{name}/ingest). Queries are SQL statements in the
-// paper's dialect whose FROM clause names a dataset:
+// GET /v1/datasets/{name}/ingest).
+//
+// Datasets loaded as name=path#keycol take live mutations: POST
+// /v1/datasets/{name}/mutations applies an atomic batch of
+// append/upsert/delete rows addressed by the key column, advancing the
+// dataset's epoch; queries keep answering from immutable snapshots, and a
+// background compactor (-compact-rows, -compact-interval) folds grown
+// mutation overlays back into frozen generations. Queries are SQL
+// statements in the paper's dialect whose FROM clause names a dataset:
 //
 //	windowd -addr :8080 -load orders=orders.csv &
 //	curl -s localhost:8080/v1/query -d '{"sql":
@@ -56,42 +63,50 @@ func (l *loadFlags) Set(v string) error {
 
 func main() {
 	var (
-		addr           = flag.String("addr", "127.0.0.1:8080", "listen address")
-		cacheBytes     = flag.Int64("cache-bytes", 1<<30, "tree cache budget in bytes (0 = unlimited)")
-		maxConcurrent  = flag.Int("max-concurrent", 4, "maximum queries evaluating at once")
-		defaultTimeout = flag.Duration("default-timeout", 30*time.Second, "query timeout when the request sets none")
-		maxTimeout     = flag.Duration("max-timeout", 5*time.Minute, "upper bound on per-request timeouts")
-		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
-		slowQuery      = flag.Duration("slow-query", 0, "log queries at least this slow at WARN with their span tree (0 = disabled)")
-		debugAddr      = flag.String("debug-addr", "", "listen address for the pprof debug server (empty = disabled)")
-		maxUploadBytes = flag.Int64("max-upload-bytes", 256<<20, "largest accepted dataset registration body; oversized uploads answer 413")
-		spillRows      = flag.Int("spill-rows", 0, "build merge sort trees as forests of this many rows per subtree (0 = monolithic)")
-		loads          loadFlags
-		loadDirs       loadFlags
+		addr            = flag.String("addr", "127.0.0.1:8080", "listen address")
+		cacheBytes      = flag.Int64("cache-bytes", 1<<30, "tree cache budget in bytes (0 = unlimited)")
+		maxConcurrent   = flag.Int("max-concurrent", 4, "maximum queries evaluating at once")
+		defaultTimeout  = flag.Duration("default-timeout", 30*time.Second, "query timeout when the request sets none")
+		maxTimeout      = flag.Duration("max-timeout", 5*time.Minute, "upper bound on per-request timeouts")
+		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
+		slowQuery       = flag.Duration("slow-query", 0, "log queries at least this slow at WARN with their span tree (0 = disabled)")
+		debugAddr       = flag.String("debug-addr", "", "listen address for the pprof debug server (empty = disabled)")
+		maxUploadBytes  = flag.Int64("max-upload-bytes", 256<<20, "largest accepted dataset registration body; oversized uploads answer 413")
+		spillRows       = flag.Int("spill-rows", 0, "build merge sort trees as forests of this many rows per subtree (0 = monolithic)")
+		compactRows     = flag.Int("compact-rows", 0, "mutation overlay size that triggers compaction into a new frozen generation (0 = adaptive)")
+		compactInterval = flag.Duration("compact-interval", 2*time.Second, "how often the background compactor checks mutated datasets (0 = disabled)")
+		loads           loadFlags
+		loadDirs        loadFlags
 	)
-	flag.Var(&loads, "load", "dataset to load at startup as name=path (repeatable)")
+	flag.Var(&loads, "load", "dataset to load at startup as name=path (append #keycol to enable upserts and deletes; repeatable)")
 	flag.Var(&loadDirs, "load-dir", "segment dataset directory to register at startup as name=dir (repeatable)")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv := server.New(server.Config{
-		CacheBytes:     *cacheBytes,
-		MaxConcurrent:  *maxConcurrent,
-		DefaultTimeout: *defaultTimeout,
-		MaxTimeout:     *maxTimeout,
-		SlowQuery:      *slowQuery,
-		MaxUploadBytes: *maxUploadBytes,
-		SpillRows:      *spillRows,
-		Logger:         log,
+		CacheBytes:      *cacheBytes,
+		MaxConcurrent:   *maxConcurrent,
+		DefaultTimeout:  *defaultTimeout,
+		MaxTimeout:      *maxTimeout,
+		SlowQuery:       *slowQuery,
+		MaxUploadBytes:  *maxUploadBytes,
+		SpillRows:       *spillRows,
+		CompactRows:     *compactRows,
+		CompactInterval: *compactInterval,
+		Logger:          log,
 	})
+	defer srv.Close()
 	for _, l := range loads {
 		name, path, _ := strings.Cut(l, "=")
-		info, err := srv.RegisterPath(name, path)
+		// name=path#keycol wires the key column live mutations address
+		// rows by; without one the dataset is append-only under mutation.
+		path, keyCol, _ := strings.Cut(path, "#")
+		info, err := srv.RegisterPathKeyed(name, path, keyCol)
 		if err != nil {
 			log.Error("load dataset", "dataset", name, "path", path, "err", err)
 			os.Exit(1)
 		}
-		log.Info("loaded dataset", "dataset", info.Name, "rows", info.Rows, "columns", len(info.Columns))
+		log.Info("loaded dataset", "dataset", info.Name, "rows", info.Rows, "columns", len(info.Columns), "key", keyCol)
 	}
 	for _, l := range loadDirs {
 		name, dir, _ := strings.Cut(l, "=")

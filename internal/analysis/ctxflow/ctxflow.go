@@ -41,7 +41,7 @@ var Analyzer = &analysis.Analyzer{
 
 // loopPkgSuffixes are the packages whose parallel loops must be
 // cancellable.
-var loopPkgSuffixes = []string{"internal/core", "internal/server", "internal/parallel"}
+var loopPkgSuffixes = []string{"internal/core", "internal/server", "internal/parallel", "internal/delta"}
 
 // serverPkgSuffix scopes the fresh-context rule to handler code.
 const serverPkgSuffix = "internal/server"

@@ -163,8 +163,18 @@ func treeSig(o mst.Options) string {
 func (p *partition) cacheKey(tag string, fields ...string) string {
 	var b strings.Builder
 	b.WriteString(windowSig(p.w))
-	b.WriteString("|#")
-	b.WriteString(strconv.Itoa(p.ord))
+	if p.stamped {
+		// Delta runs: identity is the partition's content key plus the
+		// latest epoch a mutation touched it — stable across epochs for
+		// untouched partitions, distinct whenever the content could differ.
+		b.WriteString("|pk=")
+		b.WriteString(p.idKey)
+		b.WriteString("|pd")
+		b.WriteString(strconv.FormatInt(p.stamp, 10))
+	} else {
+		b.WriteString("|#")
+		b.WriteString(strconv.Itoa(p.ord))
+	}
 	b.WriteByte('|')
 	b.WriteString(tag)
 	for _, f := range fields {

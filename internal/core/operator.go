@@ -71,6 +71,13 @@ type Options struct {
 	// allocation-behavior comparisons and as an escape hatch. The merge sort
 	// tree's own substrate is controlled separately by Tree.NoArena.
 	NoPool bool
+	// Delta, when non-nil, describes the table as a frozen base plus a
+	// mutation overlay (see DeltaView): phase 1 then merges the cached
+	// frozen sort order with a sorted run over the overlay instead of
+	// re-sorting, and per-partition cache keys switch to content+epoch form
+	// so untouched partitions reuse their structures across epochs. Results
+	// are byte-identical to evaluating the same table without a view.
+	Delta *DeltaView
 	// NoBatch opts out of the batched level-synchronous MST query kernels:
 	// the probe loop then evaluates every row with the scalar per-query
 	// descents of PR 4 and earlier. Results are byte-identical either way —
@@ -129,10 +136,28 @@ func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
 	sortSpan := root.Phase("partition+order sort")
 	sortOpt := opt
 	sortOpt.trace = sortSpan
-	cs, sortErr := cacheGet(sortOpt, "sortidx|"+windowSig(w), func() (cachedSort, int64, error) {
-		idx := preprocess.SortIndices(n, windowComparator(t, w))
-		return cachedSort{idx: idx}, int64(4 * len(idx)), nil
-	})
+	var cs cachedSort
+	var sortErr error
+	if opt.Delta != nil {
+		// Delta path: merge the generation-stable frozen sort with a sorted
+		// run over the overlay, cached per epoch.
+		if err := opt.Delta.validate(t); err != nil {
+			sortSpan.End()
+			return nil, err
+		}
+		cs, sortErr = cacheGet(sortOpt, epochTag(opt.Delta.Epoch)+"|sortidx|"+windowSig(w), func() (cachedSort, int64, error) {
+			idx, err := deltaSortIndices(t, w, sortOpt)
+			if err != nil {
+				return cachedSort{}, 0, err
+			}
+			return cachedSort{idx: idx}, int64(4 * len(idx)), nil
+		})
+	} else {
+		cs, sortErr = cacheGet(sortOpt, "sortidx|"+windowSig(w), func() (cachedSort, int64, error) {
+			idx := preprocess.SortIndices(n, windowComparator(t, w))
+			return cachedSort{idx: idx}, int64(4 * len(idx)), nil
+		})
+	}
 	sortSpan.End()
 	sortIdx := cs.idx
 	if sortErr != nil {
@@ -147,6 +172,13 @@ func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
 	root.Timed("partition boundaries", func() {
 		parts = splitPartitions(t, w, sortIdx)
 	})
+	if opt.Delta != nil && opt.cacheActive() {
+		// Re-key partitions by content + last-change epoch: ordinal keys
+		// would alias different contents across epochs under one scope.
+		if err := stampPartitions(t, w, parts, opt); err != nil {
+			return nil, err
+		}
+	}
 	if err := opt.ctxErr(); err != nil {
 		return nil, err
 	}
@@ -176,7 +208,7 @@ func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
 		p := parts[pi]
 		for fi := range w.Funcs {
 			f := &w.Funcs[fi]
-			if err := evalFunc(p, f, outs[fi], opt); err != nil {
+			if err := evalFuncCached(p, f, outs[fi], opt); err != nil {
 				setErr(fmt.Errorf("%v (%s): %w", f.Name, f.Output, err))
 				return
 			}

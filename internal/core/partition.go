@@ -24,6 +24,15 @@ type partition struct {
 	// rows holds the global (original) row indices in window order.
 	rows []int32
 
+	// Under a delta view with caching active, partitions are identified in
+	// cache keys by content and last-change epoch instead of ordinal (an
+	// ordinal would alias different contents across epochs of one scope):
+	// idKey renders the PARTITION BY values, stamp is the latest epoch a
+	// mutation touched this partition (0: untouched this generation).
+	stamped bool
+	idKey   string
+	stamp   int64
+
 	peerOnce sync.Once
 	peers    []int32 // dense peer-group ids by window ORDER BY
 

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"holistic/internal/frame"
+)
+
+// Per-partition result caching for delta runs. A window function's output
+// for a row depends only on its partition's content in window order — never
+// on other partitions — so once partitions are re-keyed by content and
+// last-change epoch (stampPartitions), the finished result vector of an
+// untouched partition is exactly as reusable as its trees: the next epoch
+// scatters the cached values instead of probing at all. This is what makes
+// sustained mutation cheap — a batch that touches two partitions re-probes
+// two partitions, and the other ninety-eight cost one memcopy each.
+//
+// The one exception is per-row frame offset expressions (Bound.OffsetFn):
+// they are keyed by the row's id in the merged table, which shifts when a
+// delete elsewhere renumbers later rows, so a frame using them is evaluated
+// fresh every epoch. Everything else — engine choice, batching, pooling —
+// is result-invariant (enforced by the equivalence suites) but the engine
+// still appears in the key so engine-comparison runs measure real work.
+
+// cachedResult is one function's finished output over one partition, stored
+// in partition sort order (positional, not by row id: merged row ids shift
+// across epochs, positions within an untouched partition do not).
+type cachedResult struct {
+	kind   Kind
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	nulls  []bool
+}
+
+func (r cachedResult) bytes() int64 {
+	total := int64(len(r.nulls)) + 8*int64(len(r.ints)+len(r.floats)) + int64(len(r.bools))
+	for _, s := range r.strs {
+		total += int64(len(s)) + 16
+	}
+	return total
+}
+
+// gatherResult copies the partition's rows out of a freshly-written builder.
+func gatherResult(out *outBuilder, rows []int32) cachedResult {
+	r := cachedResult{kind: out.kind, nulls: make([]bool, len(rows))}
+	switch out.kind {
+	case Int64:
+		r.ints = make([]int64, len(rows))
+	case Float64:
+		r.floats = make([]float64, len(rows))
+	case String:
+		r.strs = make([]string, len(rows))
+	case Bool:
+		r.bools = make([]bool, len(rows))
+	}
+	for i, row := range rows {
+		r.nulls[i] = out.nulls[row]
+		switch out.kind {
+		case Int64:
+			r.ints[i] = out.ints[row]
+		case Float64:
+			r.floats[i] = out.floats[row]
+		case String:
+			r.strs[i] = out.strs[row]
+		case Bool:
+			r.bools[i] = out.bools[row]
+		}
+	}
+	return r
+}
+
+// scatter writes the cached vector into the builder at the partition's
+// current row ids. Writes target disjoint rows per the builder contract.
+func (r cachedResult) scatter(out *outBuilder, rows []int32) {
+	for i, row := range rows {
+		out.nulls[row] = r.nulls[i]
+		switch r.kind {
+		case Int64:
+			out.ints[row] = r.ints[i]
+		case Float64:
+			out.floats[row] = r.floats[i]
+		case String:
+			out.strs[row] = r.strs[i]
+		case Bool:
+			out.bools[row] = r.bools[i]
+		}
+	}
+}
+
+// funcProbeSig renders everything the finished result depends on beyond the
+// partition's content and window order: the function, its argument and
+// probe-time parameters, and the fully-resolved frame. Unlike the structure
+// keys (which deliberately drop probe-time parameters to share trees), a
+// result key must include all of them.
+func funcProbeSig(p *partition, f *FuncSpec, spec frame.Spec, eng Engine) string {
+	var b strings.Builder
+	b.WriteString(f.Name.String())
+	b.WriteByte('|')
+	b.WriteString(eng.String())
+	b.WriteString("|a=")
+	b.WriteString(strconv.Quote(f.Arg))
+	b.WriteString("|o=")
+	b.WriteString(orderSig(p, f))
+	b.WriteString("|p=")
+	b.WriteString(strconv.FormatFloat(f.Fraction, 'b', -1, 64))
+	b.WriteString("|n=")
+	b.WriteString(strconv.FormatInt(f.N, 10))
+	b.WriteString("|flt=")
+	b.WriteString(strconv.Quote(f.Filter))
+	if f.IgnoreNulls {
+		b.WriteString("|in")
+	}
+	b.WriteString("|fr=")
+	b.WriteString(strconv.Itoa(int(spec.Mode)))
+	writeBoundSig(&b, spec.Start)
+	writeBoundSig(&b, spec.End)
+	b.WriteByte(':')
+	b.WriteString(strconv.Itoa(int(spec.Exclude)))
+	return b.String()
+}
+
+func writeBoundSig(b *strings.Builder, bd frame.Bound) {
+	b.WriteByte(':')
+	b.WriteString(strconv.Itoa(int(bd.Type)))
+	b.WriteByte(',')
+	b.WriteString(strconv.FormatInt(bd.Offset, 10))
+}
+
+// evalFuncCached evaluates one (partition, function) pair through the
+// result cache when the run is a stamped delta run and the frame has no
+// per-row offset expressions; otherwise it evaluates directly.
+func evalFuncCached(p *partition, f *FuncSpec, out *outBuilder, opt Options) error {
+	spec := p.w.effectiveFrame(f)
+	if !p.stamped || !opt.cacheActive() || spec.Start.OffsetFn != nil || spec.End.OffsetFn != nil {
+		return evalFunc(p, f, out, opt)
+	}
+	eng := f.Engine
+	if eng == EngineMergeSortTree {
+		eng = opt.DefaultEngine
+	}
+	res, err := cacheGet(opt, p.cacheKey("result", funcProbeSig(p, f, spec, eng)), func() (cachedResult, int64, error) {
+		if err := evalFunc(p, f, out, opt); err != nil {
+			return cachedResult{}, 0, err
+		}
+		r := gatherResult(out, p.rows)
+		return r, r.bytes(), nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(res.nulls) != p.len() || res.kind != out.kind {
+		// A key collision with an incompatible vector (should not happen
+		// under the key scheme): evaluate fresh rather than corrupt output.
+		return evalFunc(p, f, out, opt)
+	}
+	res.scatter(out, p.rows)
+	return nil
+}

@@ -1,0 +1,363 @@
+package delta
+
+import (
+	"fmt"
+	"sync"
+
+	"holistic/internal/core"
+)
+
+// frozen is one immutable base generation.
+type frozen struct {
+	table *core.Table
+	gen   int64
+}
+
+// Snapshot is one immutable epoch of a Buffer: the frozen base plus the
+// overlay accumulated since the freeze. Snapshots are safe to read from any
+// number of goroutines and never change after publication; Apply builds the
+// next epoch's snapshot from copies.
+type Snapshot struct {
+	f     *frozen
+	epoch int64
+
+	// gone marks base rows deleted from the merged table (nil: none).
+	gone    []bool
+	numGone int
+	// overridden marks base rows whose current image lives in the overlay
+	// (nil: none). Overridden rows still occupy their merged position.
+	overridden []bool
+	// removedRows lists base rows that left the frozen sort order (deleted
+	// or first-overridden), with the epoch they left at. Order is the
+	// mutation order, not the row order.
+	removedRows   []int32
+	removedEpochs []int64
+
+	dirty  dirtyState
+	ghosts ghostState
+
+	matOnce sync.Once
+	mat     *core.Table
+	matErr  error
+
+	viewOnce sync.Once
+	view     *core.DeltaView
+}
+
+// dirtyState holds the overlay's current row images: appended rows and the
+// new images of overridden base rows.
+type dirtyState struct {
+	// target is the overridden base row, or -1 for appended rows.
+	target []int32
+	alive  []bool
+	// epochs is each slot's last-modified epoch.
+	epochs []int64
+	vals   store
+}
+
+// ghostState preserves superseded row images: each ghost records, at the
+// epoch a row image was replaced or deleted, the values it had — enough to
+// attribute the change to its window partition at query time.
+type ghostState struct {
+	epochs []int64
+	vals   store
+}
+
+// Epoch returns the snapshot's epoch.
+func (s *Snapshot) Epoch() int64 { return s.epoch }
+
+// Gen returns the frozen generation the snapshot overlays (0 for the
+// originally registered base, +1 per compaction).
+func (s *Snapshot) Gen() int64 { return s.f.gen }
+
+// BaseRows returns the frozen base's row count.
+func (s *Snapshot) BaseRows() int { return s.f.table.Rows() }
+
+// Rows returns the merged table's row count.
+func (s *Snapshot) Rows() int {
+	return s.f.table.Rows() - s.numGone - s.dirty.numOverrides() + s.dirty.numAlive()
+}
+
+// DeltaRows sizes the overlay — current images, ghosts and departed base
+// rows — which is what the compaction threshold is measured against.
+func (s *Snapshot) DeltaRows() int {
+	return s.dirty.vals.n + s.ghosts.vals.n + len(s.removedRows)
+}
+
+// clean reports whether the snapshot carries no overlay at all, i.e. the
+// merged table IS the frozen base.
+func (s *Snapshot) clean() bool {
+	return s.dirty.vals.n == 0 && s.ghosts.vals.n == 0 && len(s.removedRows) == 0 && s.numGone == 0
+}
+
+func (s *Snapshot) rowGone(r int32) bool       { return s.gone != nil && s.gone[r] }
+func (s *Snapshot) rowOverridden(r int32) bool { return s.overridden != nil && s.overridden[r] }
+
+// keyColPos returns the key column's position in the base schema.
+func (s *Snapshot) keyColPos(keyCol string) int {
+	for i, c := range s.f.table.Columns() {
+		if c.Name() == keyCol {
+			return i
+		}
+	}
+	return -1
+}
+
+// cloneForApply deep-copies the overlay (the frozen base is shared) and
+// advances the epoch, so the mutations of one batch never write into state a
+// concurrent reader can observe.
+func (s *Snapshot) cloneForApply() *Snapshot {
+	n := &Snapshot{
+		f:             s.f,
+		epoch:         s.epoch + 1,
+		numGone:       s.numGone,
+		removedRows:   append([]int32(nil), s.removedRows...),
+		removedEpochs: append([]int64(nil), s.removedEpochs...),
+	}
+	if s.gone != nil {
+		n.gone = append([]bool(nil), s.gone...)
+	}
+	if s.overridden != nil {
+		n.overridden = append([]bool(nil), s.overridden...)
+	}
+	n.dirty = dirtyState{
+		target: append([]int32(nil), s.dirty.target...),
+		alive:  append([]bool(nil), s.dirty.alive...),
+		epochs: append([]int64(nil), s.dirty.epochs...),
+		vals:   s.dirty.vals.clone(),
+	}
+	n.ghosts = ghostState{
+		epochs: append([]int64(nil), s.ghosts.epochs...),
+		vals:   s.ghosts.vals.clone(),
+	}
+	return n
+}
+
+// markOverridden records a base row's first override: it leaves the frozen
+// sort order at this epoch but keeps its merged position.
+func (s *Snapshot) markOverridden(r int32) {
+	if s.overridden == nil {
+		s.overridden = make([]bool, s.f.table.Rows())
+	}
+	s.overridden[r] = true
+	s.removedRows = append(s.removedRows, r)
+	s.removedEpochs = append(s.removedEpochs, s.epoch)
+}
+
+// markGone deletes a base row that already left the frozen order (its
+// departure epoch is already recorded).
+func (s *Snapshot) markGone(r int32) {
+	if s.gone == nil {
+		s.gone = make([]bool, s.f.table.Rows())
+	}
+	if !s.gone[r] {
+		s.gone[r] = true
+		s.numGone++
+	}
+}
+
+// markOverriddenAndGone deletes a base row straight from the frozen state.
+func (s *Snapshot) markOverriddenAndGone(r int32) {
+	if s.overridden == nil {
+		s.overridden = make([]bool, s.f.table.Rows())
+	}
+	s.overridden[r] = true
+	s.removedRows = append(s.removedRows, r)
+	s.removedEpochs = append(s.removedEpochs, s.epoch)
+	s.markGone(r)
+}
+
+func (d *dirtyState) numAlive() int {
+	n := 0
+	for _, a := range d.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// numOverrides counts alive slots that shadow a base row (their merged
+// position is the base row's, so they must not be double counted).
+func (d *dirtyState) numOverrides() int {
+	n := 0
+	for i, a := range d.alive {
+		if a && d.target[i] >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// append adds a row image and returns its slot.
+func (d *dirtyState) append(row []Value, target int32, epoch int64) int32 {
+	slot := int32(len(d.target))
+	d.target = append(d.target, target)
+	d.alive = append(d.alive, true)
+	d.epochs = append(d.epochs, epoch)
+	d.vals.appendRow(row)
+	return slot
+}
+
+// overwrite replaces a slot's image in place.
+func (d *dirtyState) overwrite(slot int, row []Value, epoch int64) {
+	d.epochs[slot] = epoch
+	d.vals.setRow(slot, row)
+}
+
+// kill marks a slot's row deleted.
+func (d *dirtyState) kill(slot int, epoch int64) {
+	d.alive[slot] = false
+	d.epochs[slot] = epoch
+}
+
+// appendFromStore copies row i of src into the ghost store.
+func (g *ghostState) appendFromStore(src *store, i int, epoch int64) {
+	g.epochs = append(g.epochs, epoch)
+	g.vals.appendFrom(src, i)
+}
+
+// Table materializes (lazily, once) the merged table at this epoch:
+// surviving base rows in base order — overridden ones patched with their
+// overlay image — followed by surviving appended rows in append order. A
+// clean snapshot returns the frozen base itself, sharing all storage.
+func (s *Snapshot) Table() (*core.Table, error) {
+	if s.clean() {
+		return s.f.table, nil
+	}
+	s.matOnce.Do(func() {
+		stats.Materializations.Add(1)
+		s.mat, s.matErr = s.materialize()
+	})
+	return s.mat, s.matErr
+}
+
+func (s *Snapshot) materialize() (*core.Table, error) {
+	nb := s.f.table.Rows()
+	// slotOfBase maps overridden base rows to their current overlay image.
+	slotOfBase := make(map[int32]int32)
+	for slot, a := range s.dirty.alive {
+		if a && s.dirty.target[slot] >= 0 {
+			slotOfBase[s.dirty.target[slot]] = int32(slot)
+		}
+	}
+	nOut := s.Rows()
+	cols := make([]*core.Column, 0, len(s.f.table.Columns()))
+	for ci, base := range s.f.table.Columns() {
+		db := &s.dirty.vals.cols[ci]
+		bld := newColBuilder(base.Name(), base.Kind(), nOut)
+		for r := int32(0); int(r) < nb; r++ {
+			if s.rowGone(r) {
+				continue
+			}
+			if slot, ok := slotOfBase[r]; ok {
+				bld.addFromBuf(db, int(slot))
+				continue
+			}
+			bld.addFromColumn(base, int(r))
+		}
+		for slot := 0; slot < s.dirty.vals.n; slot++ {
+			if s.dirty.alive[slot] && s.dirty.target[slot] < 0 {
+				bld.addFromBuf(db, slot)
+			}
+		}
+		cols = append(cols, bld.column())
+	}
+	return core.NewTable(cols...)
+}
+
+// View returns the core.DeltaView describing this snapshot's overlay
+// against the merged table. A clean snapshot returns a view with an empty
+// overlay rather than nil: evaluating through it is a no-op sort merge, and
+// it keeps partition cache keys in content+epoch form from the very first
+// query, so structures built before the first mutation are reused after it.
+// The view's merged-row ids refer to the table returned by Table(); the two
+// are built to agree.
+func (s *Snapshot) View() (*core.DeltaView, error) {
+	if _, err := s.Table(); err != nil {
+		return nil, err
+	}
+	s.viewOnce.Do(func() {
+		s.view = s.buildView()
+	})
+	return s.view, nil
+}
+
+func (s *Snapshot) buildView() *core.DeltaView {
+	nb := s.f.table.Rows()
+	skip := make([]bool, nb)
+	mergedID := make([]int32, nb)
+	shift := int32(0)
+	for r := 0; r < nb; r++ {
+		if s.rowGone(int32(r)) {
+			skip[r] = true
+			shift++
+			mergedID[r] = -1
+			continue
+		}
+		mergedID[r] = int32(r) - shift
+		if s.rowOverridden(int32(r)) {
+			skip[r] = true
+		}
+	}
+	nbAlive := nb - s.numGone
+	var dirtyIDs []int32
+	var dirtyEpochs []int64
+	appendOrd := int32(0)
+	for slot := 0; slot < s.dirty.vals.n; slot++ {
+		if !s.dirty.alive[slot] {
+			continue
+		}
+		if t := s.dirty.target[slot]; t >= 0 {
+			dirtyIDs = append(dirtyIDs, mergedID[t])
+		} else {
+			dirtyIDs = append(dirtyIDs, int32(nbAlive)+appendOrd)
+			appendOrd++
+		}
+		dirtyEpochs = append(dirtyEpochs, s.dirty.epochs[slot])
+	}
+	v := &core.DeltaView{
+		Frozen:        s.f.table,
+		Epoch:         s.epoch,
+		SkipFrozen:    skip,
+		MergedID:      mergedID,
+		Dirty:         dirtyIDs,
+		DirtyEpochs:   dirtyEpochs,
+		RemovedRows:   s.removedRows,
+		RemovedEpochs: s.removedEpochs,
+	}
+	if s.ghosts.vals.n > 0 {
+		v.Ghosts = s.ghosts.vals.table()
+		v.GhostEpochs = s.ghosts.epochs
+	}
+	return v
+}
+
+// Verify checks the snapshot's internal invariants (tests and the fuzz
+// oracle call it after every batch).
+func (s *Snapshot) Verify() error {
+	t, err := s.Table()
+	if err != nil {
+		return err
+	}
+	if t.Rows() != s.Rows() {
+		return fmt.Errorf("delta: merged table has %d rows, snapshot accounts for %d", t.Rows(), s.Rows())
+	}
+	v, err := s.View()
+	if err != nil {
+		return err
+	}
+	if v == nil {
+		return nil
+	}
+	clean := 0
+	for _, sk := range v.SkipFrozen {
+		if !sk {
+			clean++
+		}
+	}
+	if clean+len(v.Dirty) != t.Rows() {
+		return fmt.Errorf("delta: view covers %d clean + %d dirty rows, merged table has %d", clean, len(v.Dirty), t.Rows())
+	}
+	return nil
+}

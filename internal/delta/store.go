@@ -1,0 +1,249 @@
+package delta
+
+import (
+	"fmt"
+
+	"holistic/internal/core"
+)
+
+// store is a small columnar row store matching a base table's schema; the
+// overlay's current images and ghosts both live in one.
+type store struct {
+	cols []colBuf
+	n    int
+}
+
+// colBuf is one typed column buffer.
+type colBuf struct {
+	name   string
+	kind   core.Kind
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	nulls  []bool
+}
+
+// emptyStore builds a store with t's schema and no rows.
+func emptyStore(t *core.Table) store {
+	st := store{cols: make([]colBuf, 0, len(t.Columns()))}
+	for _, c := range t.Columns() {
+		st.cols = append(st.cols, colBuf{name: c.Name(), kind: c.Kind()})
+	}
+	return st
+}
+
+func (st *store) clone() store {
+	out := store{cols: make([]colBuf, len(st.cols)), n: st.n}
+	for i := range st.cols {
+		c := &st.cols[i]
+		out.cols[i] = colBuf{
+			name:   c.name,
+			kind:   c.kind,
+			ints:   append([]int64(nil), c.ints...),
+			floats: append([]float64(nil), c.floats...),
+			strs:   append([]string(nil), c.strs...),
+			bools:  append([]bool(nil), c.bools...),
+			nulls:  append([]bool(nil), c.nulls...),
+		}
+	}
+	return out
+}
+
+func (c *colBuf) appendValue(v Value) {
+	c.nulls = append(c.nulls, v.Null)
+	switch c.kind {
+	case core.Int64:
+		c.ints = append(c.ints, v.Int)
+	case core.Float64:
+		c.floats = append(c.floats, v.Float)
+	case core.String:
+		c.strs = append(c.strs, v.Str)
+	default:
+		c.bools = append(c.bools, v.Bool)
+	}
+}
+
+func (c *colBuf) setValue(i int, v Value) {
+	c.nulls[i] = v.Null
+	switch c.kind {
+	case core.Int64:
+		c.ints[i] = v.Int
+	case core.Float64:
+		c.floats[i] = v.Float
+	case core.String:
+		c.strs[i] = v.Str
+	default:
+		c.bools[i] = v.Bool
+	}
+}
+
+func (c *colBuf) valueAt(i int) Value {
+	v := Value{Kind: c.kind, Null: c.nulls[i]}
+	switch c.kind {
+	case core.Int64:
+		v.Int = c.ints[i]
+	case core.Float64:
+		v.Float = c.floats[i]
+	case core.String:
+		v.Str = c.strs[i]
+	default:
+		v.Bool = c.bools[i]
+	}
+	return v
+}
+
+func (st *store) appendRow(row []Value) {
+	for i := range st.cols {
+		st.cols[i].appendValue(row[i])
+	}
+	st.n++
+}
+
+func (st *store) setRow(i int, row []Value) {
+	for ci := range st.cols {
+		st.cols[ci].setValue(i, row[ci])
+	}
+}
+
+func (st *store) appendFrom(src *store, i int) {
+	for ci := range st.cols {
+		st.cols[ci].appendValue(src.cols[ci].valueAt(i))
+	}
+	st.n++
+}
+
+// keyAt renders row i's cell of column kc as a key string.
+func (st *store) keyAt(kc, i int) string {
+	c := &st.cols[kc]
+	if c.kind == core.Int64 {
+		return fmt.Sprintf("i%d", c.ints[i])
+	}
+	return "s" + c.strs[i]
+}
+
+// table converts the store into a core.Table (ghost rows are handed to the
+// operator this way). The columns share the store's backing arrays, which
+// are immutable once the owning snapshot is published.
+func (st *store) table() *core.Table {
+	cols := make([]*core.Column, 0, len(st.cols))
+	for i := range st.cols {
+		c := &st.cols[i]
+		nulls := c.nulls
+		if !anyTrue(nulls) {
+			nulls = nil
+		}
+		switch c.kind {
+		case core.Int64:
+			cols = append(cols, core.NewInt64Column(c.name, c.ints, nulls))
+		case core.Float64:
+			cols = append(cols, core.NewFloat64Column(c.name, c.floats, nulls))
+		case core.String:
+			cols = append(cols, core.NewStringColumn(c.name, c.strs, nulls))
+		default:
+			cols = append(cols, core.NewBoolColumn(c.name, c.bools, nulls))
+		}
+	}
+	return core.MustNewTable(cols...)
+}
+
+// colBuilder accumulates one merged output column.
+type colBuilder struct {
+	name    string
+	kind    core.Kind
+	ints    []int64
+	floats  []float64
+	strs    []string
+	bools   []bool
+	nulls   []bool
+	anyNull bool
+}
+
+func newColBuilder(name string, kind core.Kind, capacity int) *colBuilder {
+	b := &colBuilder{name: name, kind: kind, nulls: make([]bool, 0, capacity)}
+	switch kind {
+	case core.Int64:
+		b.ints = make([]int64, 0, capacity)
+	case core.Float64:
+		b.floats = make([]float64, 0, capacity)
+	case core.String:
+		b.strs = make([]string, 0, capacity)
+	default:
+		b.bools = make([]bool, 0, capacity)
+	}
+	return b
+}
+
+func (b *colBuilder) addFromColumn(c *core.Column, i int) {
+	null := c.IsNull(i)
+	b.nulls = append(b.nulls, null)
+	b.anyNull = b.anyNull || null
+	switch b.kind {
+	case core.Int64:
+		var v int64
+		if !null {
+			v = c.Int64(i)
+		}
+		b.ints = append(b.ints, v)
+	case core.Float64:
+		var v float64
+		if !null {
+			v = c.Float64(i)
+		}
+		b.floats = append(b.floats, v)
+	case core.String:
+		var v string
+		if !null {
+			v = c.StringAt(i)
+		}
+		b.strs = append(b.strs, v)
+	default:
+		var v bool
+		if !null {
+			v = c.Bool(i)
+		}
+		b.bools = append(b.bools, v)
+	}
+}
+
+func (b *colBuilder) addFromBuf(c *colBuf, i int) {
+	null := c.nulls[i]
+	b.nulls = append(b.nulls, null)
+	b.anyNull = b.anyNull || null
+	switch b.kind {
+	case core.Int64:
+		b.ints = append(b.ints, c.ints[i])
+	case core.Float64:
+		b.floats = append(b.floats, c.floats[i])
+	case core.String:
+		b.strs = append(b.strs, c.strs[i])
+	default:
+		b.bools = append(b.bools, c.bools[i])
+	}
+}
+
+func (b *colBuilder) column() *core.Column {
+	nulls := b.nulls
+	if !b.anyNull {
+		nulls = nil
+	}
+	switch b.kind {
+	case core.Int64:
+		return core.NewInt64Column(b.name, b.ints, nulls)
+	case core.Float64:
+		return core.NewFloat64Column(b.name, b.floats, nulls)
+	case core.String:
+		return core.NewStringColumn(b.name, b.strs, nulls)
+	default:
+		return core.NewBoolColumn(b.name, b.bools, nulls)
+	}
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
+}

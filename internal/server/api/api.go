@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 )
 
 // API paths (version 1). Legacy aliases strip the /v1 prefix.
@@ -139,6 +140,49 @@ type RegisterRequest struct {
 	RowsPerSegment int `json:"rows_per_segment,omitempty"`
 	// BlockRows overrides the segment block granularity (source ingest).
 	BlockRows int `json:"block_rows,omitempty"`
+	// KeyColumn names a unique, non-NULL INT64 or STRING column that
+	// upserts and deletes address rows by (POST .../mutations). Datasets
+	// registered without one are append-only under mutation.
+	KeyColumn string `json:"key_column,omitempty"`
+}
+
+// Mutation op names for MutationSpec.Op.
+const (
+	OpAppend = "append"
+	OpUpsert = "upsert"
+	OpDelete = "delete"
+)
+
+// MutationSpec is one row mutation. Row maps column names to rendered cell
+// values (same text forms as CSV cells: dates as ISO dates, bools as
+// true/false); columns absent from the map are NULL. A delete only needs
+// the key column.
+type MutationSpec struct {
+	Op  string            `json:"op"`
+	Row map[string]string `json:"row"`
+}
+
+// MutateRequest is the POST /v1/datasets/{name}/mutations body: one batch
+// of mutations applied atomically, advancing the dataset's epoch by one.
+type MutateRequest struct {
+	// ExpectedEpoch, when set, makes the batch conditional: it only applies
+	// if it matches the dataset's current epoch, otherwise the server
+	// answers 409 conflict with the current epoch in the message
+	// (optimistic concurrency for multi-writer streams). Omitted means
+	// apply unconditionally.
+	ExpectedEpoch *int64         `json:"expected_epoch,omitempty"`
+	Mutations     []MutationSpec `json:"mutations"`
+}
+
+// MutateResponse reports the batch's outcome: the new epoch, the mutation
+// count applied, and the dataset's live size after the batch.
+type MutateResponse struct {
+	Epoch   int64 `json:"epoch"`
+	Applied int   `json:"applied"`
+	// Rows is the merged table's current row count.
+	Rows int `json:"rows"`
+	// DeltaRows sizes the mutation overlay pending compaction.
+	DeltaRows int `json:"delta_rows"`
 }
 
 // IngestStatus is the GET /v1/datasets/{name}/ingest response and the 202
@@ -171,6 +215,10 @@ type DatasetInfo struct {
 	// Segments is the segment-file count for datasets materialized from a
 	// segment directory; 0 for plain CSV registrations.
 	Segments int `json:"segments,omitempty"`
+	// Epoch counts applied mutation batches since registration.
+	Epoch int64 `json:"epoch,omitempty"`
+	// KeyColumn is the mutation key column, when one was configured.
+	KeyColumn string `json:"key_column,omitempty"`
 }
 
 // DatasetList is the GET /v1/datasets response.
@@ -297,6 +345,28 @@ func (c *Client) UploadCSV(ctx context.Context, name string, csvData []byte) (*D
 		return nil, err
 	}
 	return &info, nil
+}
+
+// UploadCSVKeyed registers (or reloads) a dataset from CSV content with a
+// mutation key column, enabling upserts and deletes against it.
+func (c *Client) UploadCSVKeyed(ctx context.Context, name, keyColumn string, csvData []byte) (*DatasetInfo, error) {
+	var info DatasetInfo
+	path := PathDatasets + "/" + name + "?key=" + url.QueryEscape(keyColumn)
+	if err := c.do(ctx, http.MethodPost, path, "text/csv", csvData, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Mutate applies one batch of mutations to a dataset, advancing its epoch.
+// A stale MutateRequest.ExpectedEpoch comes back as *Error with
+// CodeConflict (HTTP 409).
+func (c *Client) Mutate(ctx context.Context, name string, req MutateRequest) (*MutateResponse, error) {
+	var resp MutateResponse
+	if err := c.doJSON(ctx, http.MethodPost, PathDatasets+"/"+name+"/mutations", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // RegisterPath registers (or reloads) a dataset from a CSV file on the

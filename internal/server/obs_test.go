@@ -169,8 +169,10 @@ func TestMetricsExposition(t *testing.T) {
 	if v, ok := p.Value("windowd_request_duration_seconds_count", "route=POST /v1/query"); !ok || v < 3 {
 		t.Fatalf("request_duration_seconds_count = %v (%v), want >= 3", v, ok)
 	}
-	if v, ok := p.Value("windowd_eval_duration_seconds_count", "function=rank", "engine=mst"); !ok || v < 3 {
-		t.Fatalf("eval_duration_seconds_count{rank,mst} = %v (%v), want >= 3", v, ok)
+	// Only the first run evaluates: repeats of an identical query scatter
+	// the partition's cached result vector without probing at all.
+	if v, ok := p.Value("windowd_eval_duration_seconds_count", "function=rank", "engine=mst"); !ok || v < 1 {
+		t.Fatalf("eval_duration_seconds_count{rank,mst} = %v (%v), want >= 1", v, ok)
 	}
 	if v, ok := p.Value("windowd_cache_events_total", "event=hit"); !ok || v == 0 {
 		t.Fatalf("cache_events_total{hit} = %v (%v), want > 0 after repeated query", v, ok)

@@ -6,6 +6,7 @@ import (
 
 	"holistic/internal/arena"
 	"holistic/internal/core"
+	"holistic/internal/delta"
 	"holistic/internal/ingest"
 	"holistic/internal/obs"
 )
@@ -45,6 +46,12 @@ import (
 //	windowd_ingest_rows_total                     counter (func)
 //	windowd_ingest_segments_written_total         counter (func)
 //	windowd_ingest_intervals_resumed_total        counter (func)
+//	windowd_delta_mutations_total{op}             counter (func)
+//	windowd_delta_batches_total                   counter (func)
+//	windowd_delta_conflicts_total                 counter (func)
+//	windowd_delta_compactions_total               counter (func)
+//	windowd_delta_materializations_total          counter (func)
+//	windowd_delta_rows                            gauge  (func)
 type serverObs struct {
 	reg *obs.Registry
 
@@ -184,6 +191,43 @@ func newServerObs(s *Server) *serverObs {
 	reg.NewCounterFunc("windowd_ingest_intervals_resumed_total",
 		"Intervals skipped on resume because a previous run completed them.", nil, func() []obs.Sample {
 			return []obs.Sample{{Value: float64(ingest.Snapshot().IntervalsResumed)}}
+		})
+
+	reg.NewCounterFunc("windowd_delta_mutations_total",
+		"Mutations applied to live datasets, by op: append, upsert, delete.",
+		[]string{"op"}, func() []obs.Sample {
+			st := delta.Counters()
+			return []obs.Sample{
+				{Labels: []string{"append"}, Value: float64(st.Appends)},
+				{Labels: []string{"upsert"}, Value: float64(st.Upserts)},
+				{Labels: []string{"delete"}, Value: float64(st.Deletes)},
+			}
+		})
+	reg.NewCounterFunc("windowd_delta_batches_total",
+		"Mutation batches applied (each advances its dataset's epoch by one).", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(delta.Counters().Batches)}}
+		})
+	reg.NewCounterFunc("windowd_delta_conflicts_total",
+		"Mutation batches rejected for a stale expected epoch (HTTP 409).", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(delta.Counters().Conflicts)}}
+		})
+	reg.NewCounterFunc("windowd_delta_compactions_total",
+		"Overlay-into-base compactions (frozen generation swaps).", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(delta.Counters().Compactions)}}
+		})
+	reg.NewCounterFunc("windowd_delta_materializations_total",
+		"Merged-table materializations (once per queried dirty epoch).", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(delta.Counters().Materializations)}}
+		})
+	reg.NewGaugeFunc("windowd_delta_rows",
+		"Overlay rows pending compaction, summed over datasets.", nil, func() []obs.Sample {
+			s.mu.RLock()
+			total := 0
+			for _, ds := range s.datasets {
+				total += ds.buf.Snapshot().DeltaRows()
+			}
+			s.mu.RUnlock()
+			return []obs.Sample{{Value: float64(total)}}
 		})
 
 	reg.NewCounterFunc("windowd_pool_gets_total",

@@ -39,6 +39,7 @@ import (
 	"holistic/internal/arena"
 	"holistic/internal/core"
 	"holistic/internal/csvio"
+	"holistic/internal/delta"
 	"holistic/internal/ingest"
 	"holistic/internal/mst"
 	"holistic/internal/obs"
@@ -76,6 +77,14 @@ type Config struct {
 	// the largest contiguous build and enabling out-of-core-friendly
 	// incremental tree construction. 0 keeps monolithic trees.
 	SpillRows int
+	// CompactRows is the per-dataset mutation-overlay size at which the
+	// background compactor folds the overlay into a new frozen generation;
+	// <= 0 picks max(1024, rows/8) adaptively (delta.Options.CompactRows).
+	CompactRows int
+	// CompactInterval is how often the background compactor checks each
+	// dataset's overlay against the threshold. <= 0 disables background
+	// compaction (overlays then only fold on reload).
+	CompactInterval time.Duration
 	// Logger receives structured request logs; nil means slog.Default().
 	Logger *slog.Logger
 }
@@ -99,11 +108,19 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// dataset is one registered table plus its cache identity.
+// dataset is one registered table plus its cache identity and mutation
+// state. file.Table stays the registered base; queries read buf's current
+// snapshot (identical until the first mutation).
 type dataset struct {
 	file  *csvio.File
 	info  DatasetInfo
-	scope string // cache key prefix: "name@v<version>"
+	scope string // cache key prefix: "name@v<version>"; queries append "|g<gen>"
+	// buf is the live-mutation buffer over the registered table. Always
+	// non-nil; datasets registered without a key column are append-only.
+	buf *delta.Buffer
+	// stopCompact terminates the dataset's background compactor; nil when
+	// background compaction is disabled.
+	stopCompact func()
 }
 
 // DatasetInfo mirrors api.DatasetInfo; the JSON shapes are kept in sync by
@@ -116,6 +133,10 @@ type DatasetInfo struct {
 	// Segments is the segment-file count for datasets materialized from a
 	// segment directory; 0 for plain CSV registrations.
 	Segments int `json:"segments,omitempty"`
+	// Epoch counts applied mutation batches since registration.
+	Epoch int64 `json:"epoch,omitempty"`
+	// KeyColumn is the mutation key column, when one was configured.
+	KeyColumn string `json:"key_column,omitempty"`
 }
 
 // Server is the windowd request handler.
@@ -166,6 +187,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET "+api.PathDatasets, s.handleListDatasets)
 	mux.HandleFunc("POST "+api.PathDatasets+"/{name}", s.handleRegister)
 	mux.HandleFunc("GET "+api.PathDatasets+"/{name}/ingest", s.handleIngestStatus)
+	mux.HandleFunc("POST "+api.PathDatasets+"/{name}/mutations", s.handleMutations)
 	mux.HandleFunc("POST "+api.PathQuery, s.handleQuery)
 	mux.HandleFunc("POST "+api.PathExplain, s.handleExplain)
 	// Human-facing debug page; not part of the versioned API.
@@ -267,6 +289,8 @@ func routeOf(path string) string {
 		suffix := ""
 		if strings.HasSuffix(p, "/ingest") {
 			suffix = "/ingest"
+		} else if strings.HasSuffix(p, "/mutations") {
+			suffix = "/mutations"
 		}
 		if strings.HasPrefix(path, "/v1/") {
 			return "/v1/datasets/{name}" + suffix
@@ -302,21 +326,33 @@ func (s *Server) CacheStats() treecache.Stats { return s.cache.Stats() }
 // A reload bumps the dataset version and invalidates every cache entry
 // built against the previous version.
 func (s *Server) RegisterCSV(name string, r io.Reader) (DatasetInfo, error) {
+	return s.RegisterCSVKeyed(name, r, "")
+}
+
+// RegisterCSVKeyed registers a CSV dataset with a mutation key column:
+// a unique, non-NULL INT64 or STRING column that upserts and deletes
+// address rows by. An empty keyColumn makes the dataset append-only.
+func (s *Server) RegisterCSVKeyed(name string, r io.Reader, keyColumn string) (DatasetInfo, error) {
 	file, err := csvio.Read(r)
 	if err != nil {
 		return DatasetInfo{}, fmt.Errorf("parse csv: %w", err)
 	}
-	return s.install(name, file, 0), nil
+	return s.install(name, file, 0, keyColumn)
 }
 
 // RegisterPath loads a CSV file from the server's filesystem.
 func (s *Server) RegisterPath(name, path string) (DatasetInfo, error) {
+	return s.RegisterPathKeyed(name, path, "")
+}
+
+// RegisterPathKeyed loads a CSV file with a mutation key column.
+func (s *Server) RegisterPathKeyed(name, path, keyColumn string) (DatasetInfo, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return DatasetInfo{}, err
 	}
 	defer f.Close()
-	return s.RegisterCSV(name, f)
+	return s.RegisterCSVKeyed(name, f, keyColumn)
 }
 
 // RegisterDir materializes a segment dataset directory (written by the
@@ -334,10 +370,14 @@ func (s *Server) RegisterDir(name, dir string) (DatasetInfo, error) {
 	if err != nil {
 		return DatasetInfo{}, err
 	}
-	return s.install(name, file, len(d.Segments())), nil
+	return s.install(name, file, len(d.Segments()), "")
 }
 
-func (s *Server) install(name string, file *csvio.File, segments int) DatasetInfo {
+func (s *Server) install(name string, file *csvio.File, segments int, keyColumn string) (DatasetInfo, error) {
+	buf, err := delta.NewBuffer(file.Table, keyColumn, delta.Options{CompactRows: s.cfg.CompactRows})
+	if err != nil {
+		return DatasetInfo{}, err
+	}
 	cols := make([]string, 0, len(file.Table.Columns()))
 	for _, c := range file.Table.Columns() {
 		cols = append(cols, c.Name())
@@ -345,23 +385,39 @@ func (s *Server) install(name string, file *csvio.File, segments int) DatasetInf
 	s.mu.Lock()
 	version := int64(1)
 	oldScope := ""
+	var stopPrev func()
 	if prev, ok := s.datasets[name]; ok {
 		version = prev.info.Version + 1
 		oldScope = prev.scope
+		stopPrev = prev.stopCompact
 	}
 	ds := &dataset{
 		file:  file,
+		buf:   buf,
 		scope: fmt.Sprintf("%s@v%d", name, version),
 		info: DatasetInfo{
-			Name:     name,
-			Version:  version,
-			Rows:     file.Table.Rows(),
-			Columns:  cols,
-			Segments: segments,
+			Name:      name,
+			Version:   version,
+			Rows:      file.Table.Rows(),
+			Columns:   cols,
+			Segments:  segments,
+			KeyColumn: keyColumn,
 		},
+	}
+	if s.cfg.CompactInterval > 0 {
+		scope := ds.scope
+		ds.stopCompact = buf.StartCompactor(s.cfg.CompactInterval, func(oldGen, newGen int64) {
+			// The folded generation's cache entries are unreachable (queries
+			// key on the new gen); release their bytes eagerly.
+			removed := s.cache.InvalidatePrefix(fmt.Sprintf("%s|g%d|", scope, oldGen))
+			s.log.Info("delta compacted", "dataset", name, "gen", newGen, "invalidated", removed)
+		})
 	}
 	s.datasets[name] = ds
 	s.mu.Unlock()
+	if stopPrev != nil {
+		stopPrev()
+	}
 	if oldScope != "" {
 		// Entries under the old scope are unreachable (new queries key on
 		// the new version); drop them eagerly to release their bytes.
@@ -370,7 +426,24 @@ func (s *Server) install(name string, file *csvio.File, segments int) DatasetInf
 	} else {
 		s.log.Info("dataset registered", "dataset", name, "rows", ds.info.Rows)
 	}
-	return ds.info
+	return ds.info, nil
+}
+
+// Close stops the background compactors. The HTTP side is shut down by the
+// owner's http.Server; Close only releases server-owned goroutines.
+func (s *Server) Close() {
+	s.mu.Lock()
+	stops := make([]func(), 0, len(s.datasets))
+	for _, ds := range s.datasets {
+		if ds.stopCompact != nil {
+			stops = append(stops, ds.stopCompact)
+			ds.stopCompact = nil
+		}
+	}
+	s.mu.Unlock()
+	for _, stop := range stops {
+		stop()
+	}
 }
 
 func (s *Server) lookup(name string) (*dataset, bool) {
@@ -450,6 +523,9 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	is := ingest.Snapshot()
 	fmt.Fprintf(&b, "ingest: started=%d completed=%d failed=%d rows=%d segments=%d resumed=%d\n",
 		is.Started, is.Completed, is.Failed, is.RowsIngested, is.SegmentsWritten, is.IntervalsResumed)
+	dst := delta.Counters()
+	fmt.Fprintf(&b, "delta: batches=%d appends=%d upserts=%d deletes=%d conflicts=%d compactions=%d materializations=%d\n",
+		dst.Batches, dst.Appends, dst.Upserts, dst.Deletes, dst.Conflicts, dst.Compactions, dst.Materializations)
 	s.mu.RLock()
 	names := make([]*dataset, 0, len(s.datasets))
 	for _, ds := range s.datasets {
@@ -457,8 +533,10 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	for _, ds := range names {
-		fmt.Fprintf(&b, "dataset %s: version=%d rows=%d columns=%d segments=%d\n",
-			ds.info.Name, ds.info.Version, ds.info.Rows, len(ds.info.Columns), ds.info.Segments)
+		snap := ds.buf.Snapshot()
+		fmt.Fprintf(&b, "dataset %s: version=%d rows=%d columns=%d segments=%d epoch=%d gen=%d delta_rows=%d\n",
+			ds.info.Name, ds.info.Version, snap.Rows(), len(ds.info.Columns), ds.info.Segments,
+			snap.Epoch(), snap.Gen(), snap.DeltaRows())
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, b.String())
@@ -468,7 +546,13 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	infos := make([]DatasetInfo, 0, len(s.datasets))
 	for _, ds := range s.datasets {
-		infos = append(infos, ds.info)
+		info := ds.info
+		// Rows and Epoch are live: they track applied mutations, not the
+		// registration-time base.
+		snap := ds.buf.Snapshot()
+		info.Rows = snap.Rows()
+		info.Epoch = snap.Epoch()
+		infos = append(infos, info)
 	}
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
@@ -493,7 +577,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	if !strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
-		info, err := s.RegisterCSV(name, body)
+		// The ?key= query parameter names the mutation key column for
+		// direct CSV uploads (JSON registrations use key_column).
+		info, err := s.RegisterCSVKeyed(name, body, r.URL.Query().Get("key"))
 		if err != nil {
 			writeError(w, registerError(name, err))
 			return
@@ -514,7 +600,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 			writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "register request needs a path (or upload CSV directly)"))
 			return
 		}
-		info, err = s.RegisterPath(name, req.Path)
+		info, err = s.RegisterPathKeyed(name, req.Path, req.KeyColumn)
 	case api.SourceDir:
 		if req.Dir == "" {
 			writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "source=dir needs dir (a segment dataset directory)"))
@@ -736,14 +822,29 @@ func (s *Server) query(parent context.Context, sql string, timeoutMillis int64, 
 		s.obs.admissionInUse.Add(-1)
 	}()
 
+	// Pin one snapshot for the whole evaluation: the merged table and the
+	// delta view are one epoch, regardless of concurrent mutations or
+	// compactions. The cache scope carries the frozen generation so a
+	// compaction swap retires the old generation's entries wholesale.
+	snap := ds.buf.Snapshot()
+	tab, err := snap.Table()
+	if err != nil {
+		return nil, httpErrorf(http.StatusInternalServerError, api.CodeInternal, "materialize %q: %v", q.From, err)
+	}
+	view, err := snap.View()
+	if err != nil {
+		return nil, httpErrorf(http.StatusInternalServerError, api.CodeInternal, "delta view %q: %v", q.From, err)
+	}
+
 	root := obs.NewSpan("query")
 	root.Set("sql", sql)
 	start := time.Now()
-	res, err := sqlparse.Execute(q, map[string]*core.Table{q.From: ds.file.Table}, core.Options{
+	res, err := sqlparse.Execute(q, map[string]*core.Table{q.From: tab}, core.Options{
 		Tree:       mst.Options{SpillRows: s.cfg.SpillRows},
 		Context:    ctx,
 		Cache:      s.cache,
-		CacheScope: ds.scope,
+		CacheScope: fmt.Sprintf("%s|g%d", ds.scope, snap.Gen()),
+		Delta:      view,
 		TaskSize:   s.cfg.TaskSize,
 		Trace:      root,
 	})

@@ -30,8 +30,8 @@ import (
 	"math"
 	"sort"
 
+	"holistic/internal/delta"
 	"holistic/internal/mst"
-	"holistic/internal/sortutil"
 )
 
 // entry is one stream tuple.
@@ -69,12 +69,12 @@ type Aggregator struct {
 	// tail holds arrivals since the last rebuild, in arrival order
 	// (possibly out of timestamp order).
 	tail []entry
-	// sortedTail caches the tail's in-window values sorted ascending, so
+	// tailRun caches the tail's in-window values as a sorted delta.Run, so
 	// query bursts between arrivals pay the tail sort once. Invalidated by
 	// Observe and by window movement.
-	sortedTail    []int64
-	sortedTailCut int64
-	tailDirty     bool
+	tailRun    delta.Run
+	tailRunCut int64
+	tailDirty  bool
 
 	watermark int64 // newest frozen timestamp
 	latest    int64 // newest observed timestamp
@@ -127,23 +127,23 @@ func (a *Aggregator) Observe(ts, value int64) error {
 	return nil
 }
 
-// tailSorted returns the tail's in-window values sorted ascending, cached
+// tailSorted returns the tail's in-window values as a sorted run, cached
 // until the tail or the window cut changes.
-func (a *Aggregator) tailSorted() []int64 {
+func (a *Aggregator) tailSorted() delta.Run {
 	cut := a.latest - a.window
-	if !a.tailDirty && cut == a.sortedTailCut {
-		return a.sortedTail
+	if !a.tailDirty && cut == a.tailRunCut {
+		return a.tailRun
 	}
-	a.sortedTail = a.sortedTail[:0]
+	vals := a.tailRun.Values()[:0]
 	for _, e := range a.tail {
 		if e.ts > cut {
-			a.sortedTail = append(a.sortedTail, e.val)
+			vals = append(vals, e.val)
 		}
 	}
-	sortutil.IntroSort(a.sortedTail, sortutil.ThreeWay)
-	a.sortedTailCut = cut
+	a.tailRun = delta.NewRun(vals)
+	a.tailRunCut = cut
 	a.tailDirty = false
-	return a.sortedTail
+	return a.tailRun
 }
 
 func (a *Aggregator) rebuildThreshold() int {
@@ -164,7 +164,7 @@ func (a *Aggregator) Watermark() int64 { return a.watermark }
 // Len returns the number of tuples currently inside the window.
 func (a *Aggregator) Len() int {
 	a.advance()
-	return (len(a.frozen) - a.start) + len(a.tailSorted())
+	return (len(a.frozen) - a.start) + a.tailSorted().Len()
 }
 
 // advance moves the window start past evicted frozen tuples.
@@ -231,25 +231,20 @@ func (a *Aggregator) DistinctCount() int {
 		cnt = a.distinct.CountBelow(a.start, len(a.frozen), int64(a.start)+1)
 	}
 	// Tail values: count those not already present in the frozen window
-	// part; the sorted tail makes within-tail deduplication an adjacency
-	// check.
-	st := a.tailSorted()
-	for i, v := range st {
-		if i > 0 && st[i-1] == v {
-			continue
-		}
+	// part; the run hands each distinct value over exactly once.
+	a.tailSorted().ForEachUnique(func(v int64) {
 		if p, ok := a.lastPos[v]; ok && p >= a.start {
-			continue // already counted in the frozen part
+			return // already counted in the frozen part
 		}
 		cnt++
-	}
+	})
 	return cnt
 }
 
 // CountBelow returns the number of window tuples with value < v.
 func (a *Aggregator) CountBelow(v int64) int {
 	a.advance()
-	cnt := sortutil.LowerBound(a.tailSorted(), v)
+	cnt := a.tailSorted().CountBelow(v)
 	if a.tree != nil {
 		cnt += a.tree.CountBelow(a.start, len(a.frozen), v)
 	}
@@ -285,12 +280,12 @@ func (a *Aggregator) Median() (int64, bool) { return a.Percentile(0.5) }
 func (a *Aggregator) selectKth(k int) int64 {
 	// Collect the tail's in-window values sorted, so counting below a
 	// candidate is a binary search rather than a scan per probe.
-	tailVals := a.tailSorted()
+	tail := a.tailSorted()
 	// Binary search the full value domain (64 probes, each an O(log n)
 	// count); smallest v such that count(<= v) >= k+1.
 	lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
 	countLE := func(v int64) int {
-		c := sortutil.UpperBound(tailVals, v)
+		c := tail.CountAtMost(v)
 		if a.tree != nil {
 			if v == math.MaxInt64 {
 				c += len(a.frozen) - a.start

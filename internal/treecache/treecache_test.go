@@ -207,3 +207,62 @@ func TestReplaceExistingKeyAdjustsBytes(t *testing.T) {
 		t.Fatalf("stats = %+v", s)
 	}
 }
+
+func TestInvalidateEpochsBelow(t *testing.T) {
+	c := New(0)
+	put := func(key string) {
+		t.Helper()
+		if _, err := c.GetOrBuild(key, func() (any, int64, error) { return key, 8, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("ds@1|g2|fz|sortidx|p=;o=")   // generation-stable: must survive
+	put("ds@1|g2|e3|sortidx|p=;o=")   // superseded epoch: dropped
+	put("ds@1|g2|e4|stamps|p=")       // superseded epoch: dropped
+	put("ds@1|g2|e5|sortidx|p=;o=")   // current epoch: survives
+	put("ds@1|g2|p=;o=|pk=i7;|pd3|x") // partition key (no epoch component): survives
+	put("other@1|e1|sortidx|p=;o=")   // different scope: survives
+	if n := c.InvalidateEpochsBelow("ds@1|g2|", 5); n != 2 {
+		t.Fatalf("InvalidateEpochsBelow removed %d, want 2", n)
+	}
+	if s := c.Stats(); s.Entries != 4 || s.Invalidations != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	for _, key := range []string{
+		"ds@1|g2|fz|sortidx|p=;o=",
+		"ds@1|g2|e5|sortidx|p=;o=",
+		"ds@1|g2|p=;o=|pk=i7;|pd3|x",
+		"other@1|e1|sortidx|p=;o=",
+	} {
+		rebuilt := false
+		if _, err := c.GetOrBuild(key, func() (any, int64, error) { rebuilt = true; return nil, 8, nil }); err != nil {
+			t.Fatal(err)
+		}
+		if rebuilt {
+			t.Fatalf("entry %q was dropped, want kept", key)
+		}
+	}
+}
+
+func TestParseEpochComponent(t *testing.T) {
+	cases := []struct {
+		rest string
+		n    int64
+		ok   bool
+	}{
+		{"e12|sortidx", 12, true},
+		{"e0|x", 0, true},
+		{"e|x", 0, false},  // no digits
+		{"e12", 0, false},  // no terminator
+		{"e1x|", 0, false}, // non-digit
+		{"f12|", 0, false}, // wrong lead byte
+		{"", 0, false},
+		{"entry0", 0, false}, // "e" followed by non-digits
+	}
+	for _, tc := range cases {
+		n, ok := parseEpochComponent(tc.rest)
+		if n != tc.n || ok != tc.ok {
+			t.Errorf("parseEpochComponent(%q) = (%d, %v), want (%d, %v)", tc.rest, n, ok, tc.n, tc.ok)
+		}
+	}
+}

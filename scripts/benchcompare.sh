@@ -8,7 +8,8 @@
 #
 # Environment knobs:
 #   PKGS       packages to benchmark   (default "./internal/mst/ ./internal/core/
-#                                       ./internal/segment/ ./internal/ingest/";
+#                                       ./internal/segment/ ./internal/ingest/
+#                                       ./internal/delta/";
 #                                       packages absent from a tree are skipped
 #                                       there, so new packages don't break the
 #                                       base run)
@@ -25,7 +26,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 base_ref="${1:-$(git merge-base HEAD origin/main 2>/dev/null || git merge-base HEAD main)}"
-PKGS=${PKGS:-"./internal/mst/ ./internal/core/ ./internal/segment/ ./internal/ingest/"}
+PKGS=${PKGS:-"./internal/mst/ ./internal/core/ ./internal/segment/ ./internal/ingest/ ./internal/delta/"}
 BENCH=${BENCH:-"."}
 COUNT=${COUNT:-6}
 BENCHTIME=${BENCHTIME:-"0.5s"}

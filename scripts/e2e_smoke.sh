@@ -143,6 +143,72 @@ metrics=$(curl -sf "$base/v1/metrics")
 metric_positive 'windowd_ingest_runs_total{state="completed"}' || { echo "FAIL: ingest run metric missing"; exit 1; }
 metric_positive 'windowd_ingest_segments_written_total' || { echo "FAIL: ingest segment metric missing"; exit 1; }
 
+# Live mutation: register a keyed dataset, stream three mutation batches at
+# it (windowcli -append, then upserts and deletes over the raw endpoint),
+# and check the answers change, the delta metric families go live, and a
+# stale expected_epoch is refused with 409.
+{
+    echo "k,g,v"
+    for i in $(seq 1 100); do
+        printf '%d,%d,%d\n' "$i" $(( i % 4 )) $(( (i * 13) % 97 ))
+    done
+} > "$tmp/live.csv"
+"${TMPDIR:-/tmp}/windowcli" -server "$base" -dataset live -key k -i "$tmp/live.csv" 2> "$tmp/live.log"
+grep -q 'uploaded live v1 (100 rows)' "$tmp/live.log" || { echo "FAIL: keyed upload"; cat "$tmp/live.log"; exit 1; }
+
+live_query='{"sql":"select k, max(v) over (partition by g order by k rows between unbounded preceding and current row) as m from live"}'
+live0=$(curl -sf "$base/v1/query" -H 'Content-Type: application/json' -d "$live_query" | sed 's/"stats".*//')
+
+# Batch 1: windowcli -append (10 fresh rows in one atomic batch).
+{
+    echo "k,g,v"
+    for i in $(seq 101 110); do
+        printf '%d,%d,%d\n' "$i" $(( i % 4 )) $(( (i * 13) % 97 ))
+    done
+} > "$tmp/append.csv"
+"${TMPDIR:-/tmp}/windowcli" -server "$base" -dataset live -append -i "$tmp/append.csv" 2> "$tmp/append.log"
+grep -q 'appended 10 rows to live (epoch 1, 110 rows live)' "$tmp/append.log" \
+    || { echo "FAIL: windowcli -append"; cat "$tmp/append.log"; exit 1; }
+
+# Batch 2: upsert + deletes over the endpoint itself.
+m2=$(curl -sf "$base/v1/datasets/live/mutations" -H 'Content-Type: application/json' \
+    -d '{"mutations":[{"op":"upsert","row":{"k":"1","g":"1","v":"9999"}},{"op":"delete","row":{"k":"2"}},{"op":"delete","row":{"k":"3"}}]}')
+printf '%s' "$m2" | grep -q '"epoch":2' || { echo "FAIL: mutation batch 2: $m2"; exit 1; }
+printf '%s' "$m2" | grep -q '"rows":108' || { echo "FAIL: mutation batch 2 rows: $m2"; exit 1; }
+
+# Batch 3: conditional on the current epoch.
+m3=$(curl -sf "$base/v1/datasets/live/mutations" -H 'Content-Type: application/json' \
+    -d '{"expected_epoch":2,"mutations":[{"op":"upsert","row":{"k":"50","g":"2","v":"8888"}}]}')
+printf '%s' "$m3" | grep -q '"epoch":3' || { echo "FAIL: mutation batch 3: $m3"; exit 1; }
+
+live1=$(curl -sf "$base/v1/query" -H 'Content-Type: application/json' -d "$live_query" | sed 's/"stats".*//')
+[ "$live0" != "$live1" ] || { echo "FAIL: answers unchanged after mutations"; exit 1; }
+printf '%s' "$live1" | grep -q '9999' || { echo "FAIL: upserted value not visible: $live1"; exit 1; }
+
+# A stale expected epoch must be refused with 409 conflict, changing nothing.
+code=$(curl -s -o "$tmp/conflict.json" -w '%{http_code}' "$base/v1/datasets/live/mutations" \
+    -H 'Content-Type: application/json' \
+    -d '{"expected_epoch":0,"mutations":[{"op":"delete","row":{"k":"4"}}]}')
+[ "$code" = "409" ] || { echo "FAIL: stale epoch answered HTTP $code"; cat "$tmp/conflict.json"; exit 1; }
+grep -q '"conflict"' "$tmp/conflict.json" || { echo "FAIL: conflict envelope"; cat "$tmp/conflict.json"; exit 1; }
+curl -sf "$base/v1/datasets" | grep -q '"name":"live".*"epoch":3\|"epoch":3.*"name":"live"' \
+    || { echo "FAIL: dataset listing lost the epoch"; exit 1; }
+
+# Delta metric families and the statusz delta line must now be live.
+metrics=$(curl -sf "$base/v1/metrics")
+for series in \
+    'windowd_delta_mutations_total{op="append"}' \
+    'windowd_delta_mutations_total{op="upsert"}' \
+    'windowd_delta_mutations_total{op="delete"}' \
+    'windowd_delta_batches_total' \
+    'windowd_delta_conflicts_total'
+do
+    metric_positive "$series" || { echo "FAIL: delta metrics series missing or zero: $series"; exit 1; }
+done
+statusz=$(curl -sf "$base/statusz")
+printf '%s\n' "$statusz" | grep -q 'delta: batches=' || { echo "FAIL: statusz lacks delta line"; exit 1; }
+printf '%s\n' "$statusz" | grep -q 'dataset live: .*epoch=3' || { echo "FAIL: statusz lacks live epoch"; exit 1; }
+
 kill "$pid"
 wait "$pid" 2>/dev/null || true
 grep -q "drained, bye" "$tmp/windowd.log" || { echo "FAIL: no graceful shutdown"; cat "$tmp/windowd.log"; exit 1; }
