@@ -102,9 +102,11 @@ func main() {
 		if *query == "" {
 			fail(fmt.Errorf("-explain requires -query"))
 		}
-		plan, err := holistic.ExplainSQL(*query)
+		sp, err := holistic.PlanSQL(*query, nil)
 		fail(err)
-		fmt.Print(plan)
+		fmt.Print(holistic.RenderPlan(sp.Nodes))
+		fmt.Printf("operators=%d sorts_shared=%d trees_shared=%d preprocess_shared=%d\n",
+			sp.Stats.Operators, sp.Stats.SortsShared, sp.Stats.TreesShared, sp.Stats.PreprocessShared)
 		return
 	}
 	file, err := readInput()
@@ -314,11 +316,22 @@ func runRemote() error {
 		return nil // upload-only invocation
 	}
 	if *explain {
-		plan, err := c.Explain(ctx, *query)
+		resp, err := c.ExplainPlan(ctx, *query)
 		if err != nil {
 			return err
 		}
-		fmt.Print(plan)
+		if len(resp.PlanDAG) == 0 {
+			// Pre-DAG server: fall back to the legacy flat text.
+			fmt.Print(resp.Plan)
+			return nil
+		}
+		nodes := make([]holistic.PlanNode, len(resp.PlanDAG))
+		for i, n := range resp.PlanDAG {
+			nodes[i] = holistic.PlanNode{ID: n.ID, Kind: n.Kind, Label: n.Label, Inputs: n.Inputs, SharedBy: n.SharedBy}
+		}
+		fmt.Print(holistic.RenderPlan(nodes))
+		fmt.Printf("operators=%d sorts_shared=%d trees_shared=%d\n",
+			resp.Operators, resp.SortsShared, resp.TreesShared)
 		return nil
 	}
 	resp, err := c.Query(ctx, api.QueryRequest{SQL: *query, TimeoutMillis: *timeoutMS, IncludeTrace: *trace})

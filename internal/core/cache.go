@@ -160,9 +160,19 @@ func treeSig(o mst.Options) string {
 // Fields that do not influence the structure (percentile fractions, frame
 // bounds, LEAD offsets — all probe-time parameters) are deliberately
 // excluded so queries differing only in them share entries.
+//
+// Shared-plan runs override the window identity with the signature of the
+// sort actually executed (partition.sig): every cached structure is a pure
+// function of the sorted row order plus the tagged fields, so views of
+// different windows over one shared sort address — and soundly share — the
+// same entries.
 func (p *partition) cacheKey(tag string, fields ...string) string {
 	var b strings.Builder
-	b.WriteString(windowSig(p.w))
+	if p.sig != "" {
+		b.WriteString(p.sig)
+	} else {
+		b.WriteString(windowSig(p.w))
+	}
 	if p.stamped {
 		// Delta runs: identity is the partition's content key plus the
 		// latest epoch a mutation touched it — stable across epochs for

@@ -78,6 +78,15 @@ type Options struct {
 	// so untouched partitions reuse their structures across epochs. Results
 	// are byte-identical to evaluating the same table without a view.
 	Delta *DeltaView
+	// NoSharedPlan opts out of the shared-plan optimizer for multi-function
+	// SQL statements: the planner then groups functions only by *identical*
+	// (PARTITION BY, ORDER BY) windows — the pre-shared-plan behavior —
+	// instead of sharing sorts, partition boundaries and structures across
+	// merely compatible windows. Results are byte-identical either way
+	// (enforced by the shared-plan equivalence suite); the flag exists for
+	// performance comparisons and as an escape hatch. It is consulted by
+	// internal/plan, not by Run itself.
+	NoSharedPlan bool
 	// NoBatch opts out of the batched level-synchronous MST query kernels:
 	// the probe loop then evaluates every row with the scalar per-query
 	// descents of PR 4 and earlier. Results are byte-identical either way —
@@ -102,8 +111,38 @@ func (o Options) taskSize() int {
 // runs its preprocessing, builds its index structure, and probes it for
 // every row in parallel tasks.
 func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
-	if err := w.validate(t); err != nil {
+	res, err := RunShared(t, w.PartitionBy, w.OrderBy, []*WindowSpec{w}, opt)
+	if err != nil {
 		return nil, err
+	}
+	return res[0], nil
+}
+
+// RunShared evaluates several window specifications over one shared sort:
+// the table is sorted once by (partitionBy, orderBy), partition boundaries
+// are found once, and every window then evaluates its functions over views
+// of the shared partitions. Each window's PARTITION BY must equal
+// partitionBy as a set, and its ORDER BY must be a prefix of orderBy.
+//
+// Soundness is the caller's contract (internal/plan enforces it): a window
+// whose ORDER BY is a strict prefix of orderBy sees its peer groups
+// permuted by the refined sort, so it may only carry functions whose
+// results are determined by frame row sets, not row positions — RANGE and
+// GROUPS frames with order-insensitive functions. Windows whose ORDER BY
+// equals orderBy are unrestricted. One result is returned per window, in
+// input order.
+func RunShared(t *Table, partitionBy []string, orderBy []SortKey, windows []*WindowSpec, opt Options) ([]*Result, error) {
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("core: shared run has no windows")
+	}
+	sortSpec := &WindowSpec{PartitionBy: partitionBy, OrderBy: orderBy}
+	for _, w := range windows {
+		if err := w.validate(t); err != nil {
+			return nil, err
+		}
+		if err := checkSharable(w, sortSpec); err != nil {
+			return nil, err
+		}
 	}
 	// The root span: a caller-provided Options.Trace, or — when only the
 	// aggregate Profile view was requested — a run-owned root that is
@@ -120,8 +159,15 @@ func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
 	if n >= math.MaxInt32 {
 		return nil, fmt.Errorf("core: table has %d rows; row indices are represented as int32, capping a run at %d rows", n, math.MaxInt32-1)
 	}
+	nFuncs := 0
+	for _, w := range windows {
+		nFuncs += len(w.Funcs)
+	}
 	root.SetInt("rows", int64(n))
-	root.SetInt("functions", int64(len(w.Funcs)))
+	root.SetInt("functions", int64(nFuncs))
+	if len(windows) > 1 {
+		root.SetInt("windows", int64(len(windows)))
+	}
 	if opt.Workers > 0 {
 		opt.Context = parallel.ContextWithLimit(opt.Context, opt.Workers)
 	}
@@ -145,16 +191,16 @@ func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
 			sortSpan.End()
 			return nil, err
 		}
-		cs, sortErr = cacheGet(sortOpt, epochTag(opt.Delta.Epoch)+"|sortidx|"+windowSig(w), func() (cachedSort, int64, error) {
-			idx, err := deltaSortIndices(t, w, sortOpt)
+		cs, sortErr = cacheGet(sortOpt, epochTag(opt.Delta.Epoch)+"|sortidx|"+windowSig(sortSpec), func() (cachedSort, int64, error) {
+			idx, err := deltaSortIndices(t, sortSpec, sortOpt)
 			if err != nil {
 				return cachedSort{}, 0, err
 			}
 			return cachedSort{idx: idx}, int64(4 * len(idx)), nil
 		})
 	} else {
-		cs, sortErr = cacheGet(sortOpt, "sortidx|"+windowSig(w), func() (cachedSort, int64, error) {
-			idx := preprocess.SortIndices(n, windowComparator(t, w))
+		cs, sortErr = cacheGet(sortOpt, "sortidx|"+windowSig(sortSpec), func() (cachedSort, int64, error) {
+			idx := preprocess.SortIndices(n, windowComparator(t, sortSpec))
 			return cachedSort{idx: idx}, int64(4 * len(idx)), nil
 		})
 	}
@@ -170,12 +216,12 @@ func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
 	// Phase 2: find partition boundaries.
 	var parts []*partition
 	root.Timed("partition boundaries", func() {
-		parts = splitPartitions(t, w, sortIdx)
+		parts = splitPartitions(t, sortSpec, sortIdx)
 	})
 	if opt.Delta != nil && opt.cacheActive() {
 		// Re-key partitions by content + last-change epoch: ordinal keys
 		// would alias different contents across epochs under one scope.
-		if err := stampPartitions(t, w, parts, opt); err != nil {
+		if err := stampPartitions(t, sortSpec, parts, opt); err != nil {
 			return nil, err
 		}
 	}
@@ -183,12 +229,30 @@ func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
 		return nil, err
 	}
 
-	// Phase 3: evaluate every (partition, function) pair. Output columns
-	// are written at original row positions directly.
-	outs := make([]*outBuilder, len(w.Funcs))
-	for i := range w.Funcs {
-		f := &w.Funcs[i]
-		outs[i] = newOutBuilder(f.Output, outputKind(t, f), n)
+	// Each window sees the shared partitions through its own views: same
+	// sorted rows, stamps and function-order sort cache, but the window's
+	// own peer groups and RANGE keys. Structure-cache keys carry the
+	// executed sort's signature, so views of different windows share
+	// entries (and stay key-compatible with unshared runs of the same
+	// sort, where the signature coincides with the window's own).
+	sig := windowSig(sortSpec)
+	views := make([][]*partition, len(windows))
+	for wi, w := range windows {
+		views[wi] = make([]*partition, len(parts))
+		for pi, p := range parts {
+			views[wi][pi] = p.viewFor(w, sig)
+		}
+	}
+
+	// Phase 3: evaluate every (partition, window, function) triple. Output
+	// columns are written at original row positions directly.
+	outs := make([][]*outBuilder, len(windows))
+	for wi, w := range windows {
+		outs[wi] = make([]*outBuilder, len(w.Funcs))
+		for i := range w.Funcs {
+			f := &w.Funcs[i]
+			outs[wi][i] = newOutBuilder(f.Output, outputKind(t, f), n)
+		}
 	}
 	var errMu sync.Mutex
 	var firstErr error
@@ -205,12 +269,14 @@ func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
 	// degenerate to serial loops, so we additionally parallelise across
 	// partitions when there are many of them.
 	evalPart := func(pi int) {
-		p := parts[pi]
-		for fi := range w.Funcs {
-			f := &w.Funcs[fi]
-			if err := evalFuncCached(p, f, outs[fi], opt); err != nil {
-				setErr(fmt.Errorf("%v (%s): %w", f.Name, f.Output, err))
-				return
+		for wi, w := range windows {
+			p := views[wi][pi]
+			for fi := range w.Funcs {
+				f := &w.Funcs[fi]
+				if err := evalFuncCached(p, f, outs[wi][fi], opt); err != nil {
+					setErr(fmt.Errorf("%v (%s): %w", f.Name, f.Output, err))
+					return
+				}
 			}
 		}
 	}
@@ -231,15 +297,61 @@ func Run(t *Table, w *WindowSpec, opt Options) (*Result, error) {
 		return nil, firstErr
 	}
 
-	cols := make([]*Column, len(outs))
-	for i, b := range outs {
-		cols[i] = b.column()
+	results := make([]*Result, len(windows))
+	for wi := range windows {
+		cols := make([]*Column, len(outs[wi]))
+		for i, b := range outs[wi] {
+			cols[i] = b.column()
+		}
+		res, err := NewTable(cols...)
+		if err != nil {
+			return nil, err
+		}
+		results[wi] = &Result{table: res}
 	}
-	res, err := NewTable(cols...)
-	if err != nil {
-		return nil, err
+	return results, nil
+}
+
+// checkSharable verifies a window fits under a shared sort: same PARTITION
+// BY column set, window ORDER BY a prefix of the executed order. The
+// semantic gate (which functions tolerate a refined sort) lives in the
+// planner; this check only rejects structurally incompatible windows that
+// would silently evaluate against the wrong order.
+func checkSharable(w, sortSpec *WindowSpec) error {
+	if !samePartitionSet(w.PartitionBy, sortSpec.PartitionBy) {
+		return fmt.Errorf("core: window partitioning %v does not match shared sort partitioning %v", w.PartitionBy, sortSpec.PartitionBy)
 	}
-	return &Result{table: res}, nil
+	if len(w.OrderBy) > len(sortSpec.OrderBy) {
+		return fmt.Errorf("core: window ORDER BY longer than the shared sort order")
+	}
+	for i, k := range w.OrderBy {
+		if sortSpec.OrderBy[i] != k {
+			return fmt.Errorf("core: window ORDER BY is not a prefix of the shared sort order")
+		}
+	}
+	return nil
+}
+
+// samePartitionSet reports whether two PARTITION BY lists name the same
+// column set (listing order does not affect partitioning).
+func samePartitionSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return true
+	}
+	seen := make(map[string]int, len(a))
+	for _, c := range a {
+		seen[c]++
+	}
+	for _, c := range b {
+		seen[c]--
+		if seen[c] < 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // windowComparator orders rows by (PARTITION BY, ORDER BY).
@@ -289,7 +401,7 @@ func splitPartitions(t *Table, w *WindowSpec, sortIdx []int32) []*partition {
 	start := 0
 	for i := 1; i <= n; i++ {
 		if i == n || !samePart(sortIdx[i-1], sortIdx[i]) {
-			parts = append(parts, &partition{t: t, w: w, ord: len(parts), rows: sortIdx[start:i]})
+			parts = append(parts, &partition{t: t, w: w, ord: len(parts), rows: sortIdx[start:i], fsort: &funcSortCache{}})
 			start = i
 		}
 	}

@@ -39,11 +39,39 @@ type partition struct {
 	rangeOnce sync.Once
 	rangeKeys []int64 // oriented keys for RANGE arithmetic
 
-	// sortCache shares function-order sorts between functions with the
-	// same effective ORDER BY — the duplicated-work avoidance of Kohn et
-	// al. / Cao et al. (§3.1). Keyed by the canonical ORDER BY rendering.
-	sortCacheMu sync.Mutex
-	sortCache   map[string][]int32
+	// sig, when non-empty, overrides windowSig(p.w) in structure-cache
+	// keys. Shared-plan runs set it to the signature of the sort actually
+	// executed (the group's refined order), so every window view over the
+	// same sorted rows addresses the same cache entries — which is exactly
+	// when the structures are interchangeable.
+	sig string
+
+	// fsort shares function-order sorts between functions with the same
+	// effective ORDER BY — the duplicated-work avoidance of Kohn et al. /
+	// Cao et al. (§3.1). The pointer is shared by every window view over
+	// the same sorted rows, so the sharing crosses windows too.
+	fsort *funcSortCache
+}
+
+// funcSortCache holds a partition's function-order sorts, keyed by the
+// canonical ORDER BY rendering. One instance is shared by all window views
+// over the same underlying sorted rows.
+type funcSortCache struct {
+	mu sync.Mutex
+	m  map[string][]int32
+}
+
+// viewFor returns this partition's rows seen through another window spec:
+// same sorted rows, same ordinal and delta stamps, same function-order sort
+// cache, but the view's own lazily computed peer groups and RANGE keys
+// (those depend on the window's ORDER BY). sig overrides the view's
+// structure-cache identity with the executed sort's signature.
+func (p *partition) viewFor(w *WindowSpec, sig string) *partition {
+	return &partition{
+		t: p.t, w: w, ord: p.ord, rows: p.rows,
+		stamped: p.stamped, idKey: p.idKey, stamp: p.stamp,
+		sig: sig, fsort: p.fsort,
+	}
 }
 
 func (p *partition) len() int { return len(p.rows) }
@@ -216,19 +244,20 @@ func (p *partition) sortedByFuncOrder(f *FuncSpec) []int32 {
 		}
 		key += k.Column + ":" + dir + ";"
 	}
-	p.sortCacheMu.Lock()
-	if cached, ok := p.sortCache[key]; ok {
-		p.sortCacheMu.Unlock()
+	c := p.fsort
+	c.mu.Lock()
+	if cached, ok := c.m[key]; ok {
+		c.mu.Unlock()
 		return cached
 	}
-	p.sortCacheMu.Unlock()
+	c.mu.Unlock()
 	sorted := preprocess.SortIndices(p.len(), p.funcComparator(f))
-	p.sortCacheMu.Lock()
-	if p.sortCache == nil {
-		p.sortCache = make(map[string][]int32)
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string][]int32)
 	}
-	p.sortCache[key] = sorted
-	p.sortCacheMu.Unlock()
+	c.m[key] = sorted
+	c.mu.Unlock()
 	return sorted
 }
 

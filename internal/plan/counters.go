@@ -1,0 +1,35 @@
+package plan
+
+import "sync/atomic"
+
+// Process-wide sharing counters, one atomic per windowd_plan_shared_*
+// series. The shared-plan executor adds each statement's plan-shape counts
+// (see Stats) once per execution; Snapshot exposes them to the metrics
+// registry the way core.BatchSnapshot does for the batch kernels.
+var counters struct {
+	Queries          atomic.Int64
+	SharedSorts      atomic.Int64
+	SharedTrees      atomic.Int64
+	SharedPreprocess atomic.Int64
+}
+
+// CounterSnapshot is a point-in-time copy of the sharing counters.
+type CounterSnapshot struct {
+	// Queries counts statements executed through the shared-plan path.
+	Queries int64
+	// SharedSorts, SharedTrees and SharedPreprocess accumulate the
+	// per-statement Stats counts of the same names.
+	SharedSorts      int64
+	SharedTrees      int64
+	SharedPreprocess int64
+}
+
+// Snapshot returns the current counter values.
+func Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		Queries:          counters.Queries.Load(),
+		SharedSorts:      counters.SharedSorts.Load(),
+		SharedTrees:      counters.SharedTrees.Load(),
+		SharedPreprocess: counters.SharedPreprocess.Load(),
+	}
+}

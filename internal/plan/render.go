@@ -1,0 +1,31 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderText renders a plan DAG as indented text with shared-node
+// annotations — the windowcli -explain view. Nodes are printed in
+// execution order; kinds below the sort indent one level, probes two.
+func RenderText(nodes []Node) string {
+	var sb strings.Builder
+	for _, n := range nodes {
+		indent := ""
+		switch n.Kind {
+		case "partitions", "preprocess", "tree":
+			indent = "  "
+		case "probe":
+			indent = "    "
+		}
+		fmt.Fprintf(&sb, "%s[%s] %s: %s", indent, n.ID, n.Kind, n.Label)
+		if len(n.Inputs) > 0 {
+			fmt.Fprintf(&sb, "  <- %s", strings.Join(n.Inputs, ", "))
+		}
+		if len(n.SharedBy) > 1 {
+			fmt.Fprintf(&sb, "  [shared by %s]", strings.Join(n.SharedBy, ", "))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -87,13 +87,21 @@ type QueryResponse struct {
 	Trace string `json:"trace,omitempty"`
 }
 
-// QueryStats describes one evaluation: wall time and the tree cache's
-// cumulative counters after the query. A follow-up identical query leaves
-// CacheMisses unchanged and raises CacheHits.
+// QueryStats describes one evaluation: wall time, the tree cache's
+// cumulative counters after the query, and the statement's shared-plan
+// shape. A follow-up identical query leaves CacheMisses unchanged and
+// raises CacheHits.
 type QueryStats struct {
 	ElapsedMillis float64 `json:"elapsed_millis"`
 	CacheHits     int64   `json:"cache_hits"`
 	CacheMisses   int64   `json:"cache_misses"`
+	// Operators is the statement plan's DAG node count; SortsShared and
+	// TreesShared count the sorts and tree builds the shared-plan optimizer
+	// eliminated. Deterministic properties of the plan shape, not runtime
+	// cache observations.
+	Operators   int `json:"operators,omitempty"`
+	SortsShared int `json:"sorts_shared,omitempty"`
+	TreesShared int `json:"trees_shared,omitempty"`
 }
 
 // ExplainRequest asks for the evaluation plan of a statement.
@@ -101,9 +109,33 @@ type ExplainRequest struct {
 	SQL string `json:"sql"`
 }
 
-// ExplainResponse carries the rendered plan.
+// PlanNode is one operator of the structured explain DAG. Nodes arrive in a
+// valid execution order: inputs always precede consumers.
+type PlanNode struct {
+	// ID identifies the node within the plan (e.g. "sort0", "tree0_1").
+	ID string `json:"id"`
+	// Kind is the operator class: "sort", "partitions", "preprocess",
+	// "tree" or "probe".
+	Kind string `json:"kind"`
+	// Label describes the operator.
+	Label string `json:"label"`
+	// Inputs lists the IDs of the nodes this one consumes.
+	Inputs []string `json:"inputs,omitempty"`
+	// SharedBy lists the output columns this node serves; more than one
+	// entry means the node is computed once and reused.
+	SharedBy []string `json:"shared_by,omitempty"`
+}
+
+// ExplainResponse carries the rendered plan. Plan is the legacy flat text;
+// PlanDAG is the shared-plan optimizer's structured DAG.
 type ExplainResponse struct {
-	Plan string `json:"plan"`
+	Plan    string     `json:"plan"`
+	PlanDAG []PlanNode `json:"plan_dag,omitempty"`
+	// Operators, SortsShared and TreesShared summarize the DAG the way
+	// QueryStats does for an executed query.
+	Operators   int `json:"operators,omitempty"`
+	SortsShared int `json:"sorts_shared,omitempty"`
+	TreesShared int `json:"trees_shared,omitempty"`
 }
 
 // Dataset source kinds for RegisterRequest.Source.
@@ -329,13 +361,23 @@ func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 	return &resp, nil
 }
 
-// Explain fetches the evaluation plan of a statement.
+// Explain fetches the legacy flat-text evaluation plan of a statement.
 func (c *Client) Explain(ctx context.Context, sql string) (string, error) {
-	var resp ExplainResponse
-	if err := c.doJSON(ctx, http.MethodPost, PathExplain, ExplainRequest{SQL: sql}, &resp); err != nil {
+	resp, err := c.ExplainPlan(ctx, sql)
+	if err != nil {
 		return "", err
 	}
 	return resp.Plan, nil
+}
+
+// ExplainPlan fetches the full explain response: the structured plan DAG
+// with shared-node annotations plus the legacy text rendering.
+func (c *Client) ExplainPlan(ctx context.Context, sql string) (*ExplainResponse, error) {
+	var resp ExplainResponse
+	if err := c.doJSON(ctx, http.MethodPost, PathExplain, ExplainRequest{SQL: sql}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // UploadCSV registers (or reloads) a dataset from CSV content.

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"holistic/internal/server/api"
+)
+
+// TestExplainStructuredPlan checks /v1/explain's structured side: the DAG
+// arrives alongside the legacy text, nodes come in execution order with
+// shared-by annotations, and the summary counters match the plan shape.
+func TestExplainStructuredPlan(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	mustUpload(t, c, "t", smallCSV)
+
+	sql := `
+		select count(distinct g) over w as cd,
+		       rank(order by v) over w as r,
+		       sum(v) over (partition by g) as s
+		from t
+		window w as (partition by g order by d)`
+	resp, err := c.ExplainPlan(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Plan == "" {
+		t.Fatal("legacy text plan missing")
+	}
+	if len(resp.PlanDAG) == 0 {
+		t.Fatal("plan_dag missing")
+	}
+	if resp.Operators != len(resp.PlanDAG) {
+		t.Fatalf("operators = %d, nodes = %d", resp.Operators, len(resp.PlanDAG))
+	}
+	// The unordered SUM window shares w's sort (its order is the empty
+	// prefix and SUM over the INT64 column v is order-insensitive).
+	if resp.SortsShared != 1 {
+		t.Fatalf("sorts_shared = %d, want 1", resp.SortsShared)
+	}
+	// First node is the shared sort, serving all three functions.
+	first := resp.PlanDAG[0]
+	if first.Kind != "sort" || len(first.SharedBy) != 3 {
+		t.Fatalf("first node = %+v, want sort shared by 3", first)
+	}
+	seen := map[string]bool{}
+	for _, n := range resp.PlanDAG {
+		for _, in := range n.Inputs {
+			if !seen[in] {
+				t.Fatalf("node %s consumes %s before it is defined", n.ID, in)
+			}
+		}
+		seen[n.ID] = true
+	}
+	for _, want := range []string{"probe_cd", "probe_r", "probe_s"} {
+		if !seen[want] {
+			t.Fatalf("missing probe node %s", want)
+		}
+	}
+}
+
+// TestQueryStatsPlanFields checks that executed queries report the plan
+// shape in their stats and that the sharing metrics families expose it.
+func TestQueryStatsPlanFields(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	mustUpload(t, c, "t", smallCSV)
+
+	resp, err := c.Query(ctx, api.QueryRequest{SQL: `
+		select count(distinct g) over w as cd,
+		       count(distinct g) over (partition by g order by d groups 1 preceding) as cd2,
+		       rank(order by v) over w as r
+		from t
+		window w as (partition by g order by d)`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.Operators == 0 {
+		t.Fatalf("stats.operators = 0: %+v", resp.Stats)
+	}
+	if resp.Stats.TreesShared < 1 {
+		t.Fatalf("stats.trees_shared = %d, want >= 1: %+v", resp.Stats.TreesShared, resp.Stats)
+	}
+
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"windowd_plan_shared_sorts",
+		"windowd_plan_shared_trees",
+		"windowd_plan_shared_preprocess",
+	} {
+		if !strings.Contains(metrics, family) {
+			t.Fatalf("metrics exposition missing %s", family)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"holistic/internal/delta"
 	"holistic/internal/ingest"
 	"holistic/internal/obs"
+	"holistic/internal/plan"
 )
 
 // serverObs is windowd's metric surface, exported in the Prometheus text
@@ -42,6 +43,9 @@ import (
 //	windowd_pool_bytes_in_flight{pool}            gauge  (func)
 //	windowd_mst_batch_queries                     counter (func)
 //	windowd_mst_batch_dedup_hits                  counter (func)
+//	windowd_plan_shared_sorts                     counter (func)
+//	windowd_plan_shared_trees                     counter (func)
+//	windowd_plan_shared_preprocess                counter (func)
 //	windowd_ingest_runs_total{state}              counter (func)
 //	windowd_ingest_rows_total                     counter (func)
 //	windowd_ingest_segments_written_total         counter (func)
@@ -168,6 +172,19 @@ func newServerObs(s *Server) *serverObs {
 	reg.NewCounterFunc("windowd_mst_batch_dedup_hits",
 		"Row evaluations answered by reusing the previous row's identical batched query set.", nil, func() []obs.Sample {
 			return []obs.Sample{{Value: float64(core.BatchSnapshot().DedupHits)}}
+		})
+
+	reg.NewCounterFunc("windowd_plan_shared_sorts",
+		"Window sorts avoided by the shared-plan optimizer (windows that reused another window's sort).", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(plan.Snapshot().SharedSorts)}}
+		})
+	reg.NewCounterFunc("windowd_plan_shared_trees",
+		"Tree builds avoided by the shared-plan optimizer (consumers beyond a shared tree's first).", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(plan.Snapshot().SharedTrees)}}
+		})
+	reg.NewCounterFunc("windowd_plan_shared_preprocess",
+		"Preprocessing passes avoided by the shared-plan optimizer (partition boundaries and per-partition arrays reused).", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(plan.Snapshot().SharedPreprocess)}}
 		})
 
 	reg.NewCounterFunc("windowd_ingest_runs_total",

@@ -43,6 +43,7 @@ import (
 	"holistic/internal/ingest"
 	"holistic/internal/mst"
 	"holistic/internal/obs"
+	"holistic/internal/plan"
 	"holistic/internal/segment"
 	"holistic/internal/server/api"
 	"holistic/internal/sqlparse"
@@ -733,12 +734,40 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "%v", err))
 		return
 	}
-	plan, err := sqlparse.Explain(q)
+	text, err := sqlparse.Explain(q)
 	if err != nil {
 		writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "%v", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"plan": plan})
+	// The structured DAG benefits from column kinds (the planner's float-
+	// sensitivity gate), so resolve the FROM dataset when it is registered;
+	// explaining against an unknown dataset still works, conservatively.
+	var tab *core.Table
+	if ds, ok := s.lookup(q.From); ok {
+		if t, err := ds.buf.Snapshot().Table(); err == nil {
+			tab = t
+		}
+	}
+	p, err := sqlparse.BuildPlan(q, tab)
+	if err != nil {
+		writeError(w, httpErrorf(http.StatusBadRequest, api.CodeInvalidArgument, "%v", err))
+		return
+	}
+	resp := &explainResponse{Plan: text, PlanDAG: p.Nodes}
+	resp.Operators = p.Stats.Operators
+	resp.SortsShared = p.Stats.SortsShared
+	resp.TreesShared = p.Stats.TreesShared
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// explainResponse mirrors api.ExplainResponse (kept in sync by the
+// shared-client tests); plan.Node carries api.PlanNode's json shape.
+type explainResponse struct {
+	Plan        string      `json:"plan"`
+	PlanDAG     []plan.Node `json:"plan_dag,omitempty"`
+	Operators   int         `json:"operators,omitempty"`
+	SortsShared int         `json:"sorts_shared,omitempty"`
+	TreesShared int         `json:"trees_shared,omitempty"`
 }
 
 // timeoutFor clamps the requested timeout into (0, MaxTimeout].
@@ -781,6 +810,9 @@ type queryResponse struct {
 		ElapsedMillis float64 `json:"elapsed_millis"`
 		CacheHits     int64   `json:"cache_hits"`
 		CacheMisses   int64   `json:"cache_misses"`
+		Operators     int     `json:"operators,omitempty"`
+		SortsShared   int     `json:"sorts_shared,omitempty"`
+		TreesShared   int     `json:"trees_shared,omitempty"`
 	} `json:"stats"`
 	Trace string `json:"trace,omitempty"`
 }
@@ -839,7 +871,7 @@ func (s *Server) query(parent context.Context, sql string, timeoutMillis int64, 
 	root := obs.NewSpan("query")
 	root.Set("sql", sql)
 	start := time.Now()
-	res, err := sqlparse.Execute(q, map[string]*core.Table{q.From: tab}, core.Options{
+	res, planStats, err := sqlparse.ExecutePlanned(q, map[string]*core.Table{q.From: tab}, core.Options{
 		Tree:       mst.Options{SpillRows: s.cfg.SpillRows},
 		Context:    ctx,
 		Cache:      s.cache,
@@ -872,6 +904,9 @@ func (s *Server) query(parent context.Context, sql string, timeoutMillis int64, 
 	st := s.cache.Stats()
 	resp.Stats.CacheHits = st.Hits
 	resp.Stats.CacheMisses = st.Misses
+	resp.Stats.Operators = planStats.Operators
+	resp.Stats.SortsShared = planStats.SortsShared
+	resp.Stats.TreesShared = planStats.TreesShared
 	if includeTrace {
 		resp.Trace = root.Render()
 	}

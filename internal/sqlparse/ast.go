@@ -58,6 +58,12 @@ type OrderKey struct {
 
 // WindowDef is an OVER clause body.
 type WindowDef struct {
+	// Ref names an existing window this definition inherits from (the
+	// SQL-standard existing-window-name form: WINDOW w2 AS (w1 ORDER BY
+	// ...)). The parser records it; resolution copies the base window's
+	// partitioning/ordering into this definition and clears Ref, erroring
+	// on cycles and on override conflicts.
+	Ref         string
 	PartitionBy []string
 	OrderBy     []OrderKey
 	Frame       *FrameDef
@@ -75,6 +81,30 @@ type FrameDef struct {
 type BoundDef struct {
 	Kind   string // "unbounded preceding", "preceding", "current row", "following", "unbounded following"
 	Offset int64
+}
+
+// inherit copies the base window named by Ref into this definition,
+// enforcing the standard's existing-window-name rules: the derived window
+// may not have its own PARTITION BY, may add an ORDER BY only when the base
+// has none, and the base may not carry a frame clause (frames never
+// inherit; the derived window supplies its own).
+func (w *WindowDef) inherit(base *WindowDef) error {
+	name := w.Ref
+	if len(w.PartitionBy) > 0 {
+		return fmt.Errorf("sql: window inheriting from %q cannot override its PARTITION BY", name)
+	}
+	if base.Frame != nil {
+		return fmt.Errorf("sql: cannot inherit from window %q because it has a frame clause", name)
+	}
+	if len(base.OrderBy) > 0 && len(w.OrderBy) > 0 {
+		return fmt.Errorf("sql: window inheriting from %q cannot override its ORDER BY", name)
+	}
+	w.PartitionBy = base.PartitionBy
+	if len(w.OrderBy) == 0 {
+		w.OrderBy = base.OrderBy
+	}
+	w.Ref = ""
+	return nil
 }
 
 // sortKey renders a canonical identity of the window's partitioning and

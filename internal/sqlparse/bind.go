@@ -5,23 +5,67 @@ import (
 
 	"holistic/internal/core"
 	"holistic/internal/frame"
+	"holistic/internal/plan"
 )
 
 // Execute runs a parsed query against the named tables and returns a result
 // table with one column per select-list item, in select order.
 //
-// Function calls sharing a window definition are evaluated in one window
-// operator invocation, so partitioning and ordering are computed once per
-// distinct window — the duplicated-work avoidance of Kohn et al. and Cao et
-// al. that §3.1 cites as complementary to the paper.
+// Execution goes through the shared-plan optimizer (internal/plan): windows
+// sharing a definition evaluate in one operator invocation, compatible
+// windows cluster under one sort, and tree structures are shared across
+// functions — the duplicated-work avoidance of Kohn et al. and Cao et al.
+// that §3.1 cites as complementary to the paper, generalized to prefix-
+// compatible orders.
 func Execute(q *Query, tables map[string]*core.Table, opt core.Options) (*core.Table, error) {
+	out, _, err := ExecutePlanned(q, tables, opt)
+	return out, err
+}
+
+// ExecutePlanned is Execute plus the plan's sharing statistics (operator
+// count, sorts/trees/preprocessing shared) for callers that surface them,
+// like windowd's query stats.
+func ExecutePlanned(q *Query, tables map[string]*core.Table, opt core.Options) (*core.Table, plan.Stats, error) {
 	src, ok := tables[q.From]
 	if !ok {
-		return nil, fmt.Errorf("sql: unknown table %q", q.From)
+		return nil, plan.Stats{}, fmt.Errorf("sql: unknown table %q", q.From)
 	}
+	for i := range q.Items {
+		item := &q.Items[i]
+		if item.Func == nil && src.Column(item.Column) == nil {
+			return nil, plan.Stats{}, fmt.Errorf("sql: unknown column %q", item.Column)
+		}
+	}
+	p, err := BuildPlan(q, src)
+	if err != nil {
+		return nil, plan.Stats{}, err
+	}
+	return p.Execute(src, opt)
+}
 
-	// Assign output column names: aliases win; default names are the
-	// function (or column) name, uniquified.
+// BuildPlan runs the shared-plan optimizer over a parsed query. The table
+// supplies column kinds for the planner's float-sensitivity gate; it may be
+// nil (explaining without data), which keeps the planner conservative about
+// sharing sorts under SUM/MIN/MAX.
+func BuildPlan(q *Query, t *core.Table) (*plan.Plan, error) {
+	stmt, err := toStatement(q)
+	if err != nil {
+		return nil, err
+	}
+	var kinds plan.KindResolver
+	if t != nil {
+		kinds = plan.TableKinds(t)
+	}
+	return plan.Build(stmt, kinds)
+}
+
+// toStatement converts a parsed query to planner form: output names
+// assigned (aliases win; defaults are the function or column name,
+// uniquified), function specs bound, and every function's frame resolved
+// explicitly — a missing frame clause means SQL's default frame, which
+// depends on the window's ORDER BY, so it is encoded per function rather
+// than left per-window.
+func toStatement(q *Query) (*plan.Statement, error) {
 	used := map[string]int{}
 	outName := func(base string) string {
 		used[base]++
@@ -30,35 +74,15 @@ func Execute(q *Query, tables map[string]*core.Table, opt core.Options) (*core.T
 		}
 		return fmt.Sprintf("%s_%d", base, used[base])
 	}
-	type outputRef struct {
-		name     string
-		fromSrc  bool // pass-through column
-		srcCol   string
-		groupKey string
-	}
-	outputs := make([]outputRef, len(q.Items))
-
-	// Group function calls by (PARTITION BY, ORDER BY): windows that share
-	// them share one sort and one operator invocation, with differing
-	// frames expressed as per-function overrides.
-	type group struct {
-		def   *WindowDef // representative: supplies partitioning/ordering
-		funcs []core.FuncSpec
-	}
-	groups := map[string]*group{}
-	var groupOrder []string
-
+	stmt := &plan.Statement{Table: q.From, Items: make([]plan.Item, len(q.Items))}
 	for i := range q.Items {
 		item := &q.Items[i]
 		if item.Func == nil {
-			if src.Column(item.Column) == nil {
-				return nil, fmt.Errorf("sql: unknown column %q", item.Column)
-			}
 			name := item.Alias
 			if name == "" {
 				name = item.Column
 			}
-			outputs[i] = outputRef{name: outName(name), fromSrc: true, srcCol: item.Column}
+			stmt.Items[i] = plan.Item{Name: outName(name), SrcColumn: item.Column}
 			continue
 		}
 		fc := item.Func
@@ -74,14 +98,8 @@ func Execute(q *Query, tables map[string]*core.Table, opt core.Options) (*core.T
 		if err != nil {
 			return nil, err
 		}
-		// The function's frame becomes a per-function override, so windows
-		// differing only in framing still share the group. A missing frame
-		// clause means SQL's default frame, which depends on the presence
-		// of an ORDER BY — encode it explicitly to keep the default
-		// per-window rather than per-group.
-		frameDef := fc.Window.Frame
-		if frameDef != nil {
-			fs, err := frameDef.toFrameSpec()
+		if fd := fc.Window.Frame; fd != nil {
+			fs, err := fd.toFrameSpec()
 			if err != nil {
 				return nil, err
 			}
@@ -90,51 +108,14 @@ func Execute(q *Query, tables map[string]*core.Table, opt core.Options) (*core.T
 			fs := defaultFrame(fc.Window)
 			spec.Frame = &fs
 		}
-		key := fc.Window.sortKey()
-		g, ok := groups[key]
-		if !ok {
-			g = &group{def: fc.Window}
-			groups[key] = g
-			groupOrder = append(groupOrder, key)
+		stmt.Items[i] = plan.Item{
+			Name:        name,
+			PartitionBy: fc.Window.PartitionBy,
+			OrderBy:     toSortKeys(fc.Window.OrderBy),
+			Func:        &spec,
 		}
-		g.funcs = append(g.funcs, spec)
-		outputs[i] = outputRef{name: name, groupKey: key}
 	}
-
-	// Run one window operator per distinct (partitioning, ordering).
-	results := map[string]*core.Result{}
-	for _, key := range groupOrder {
-		g := groups[key]
-		w := &core.WindowSpec{
-			PartitionBy: g.def.PartitionBy,
-			OrderBy:     toSortKeys(g.def.OrderBy),
-			Funcs:       g.funcs,
-		}
-		res, err := core.Run(src, w, opt)
-		if err != nil {
-			return nil, err
-		}
-		results[key] = res
-	}
-
-	// Assemble the output table in select order.
-	cols := make([]*core.Column, len(outputs))
-	for i, o := range outputs {
-		if o.fromSrc {
-			cols[i] = renameColumn(src.Column(o.srcCol), o.name)
-			continue
-		}
-		cols[i] = results[o.groupKey].Column(o.name)
-	}
-	return core.NewTable(cols...)
-}
-
-// renameColumn returns a view of col under a new name.
-func renameColumn(col *core.Column, name string) *core.Column {
-	if col.Name() == name {
-		return col
-	}
-	return col.Renamed(name)
+	return stmt, nil
 }
 
 // defaultFrame is SQL's default frame for a window: RANGE UNBOUNDED

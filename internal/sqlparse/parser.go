@@ -2,6 +2,7 @@ package sqlparse
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -127,19 +128,79 @@ func (p *parser) parseQuery() (*Query, error) {
 	if p.cur().kind != tokEOF {
 		return nil, p.errf("unexpected trailing input")
 	}
-	// Resolve window references.
-	for i := range q.Items {
-		fc := q.Items[i].Func
-		if fc == nil || fc.WindowRef == "" {
-			continue
-		}
-		def, ok := q.Windows[strings.ToLower(fc.WindowRef)]
-		if !ok {
-			return nil, fmt.Errorf("sql: unknown window %q", fc.WindowRef)
-		}
-		fc.Window = def
+	if err := q.resolveWindows(); err != nil {
+		return nil, err
 	}
 	return q, nil
+}
+
+// resolveWindows resolves named-window inheritance (the SQL-standard
+// existing-window-name form, WINDOW w2 AS (w1 ORDER BY ...)) and the
+// select-list window references. Named windows may inherit from each other
+// in any definition order; definition cycles are errors, as are the
+// standard's override conflicts (see WindowDef.inherit). Inline OVER bodies
+// may also open with an existing window name.
+func (q *Query) resolveWindows() error {
+	state := map[string]int{} // 0 unvisited, 1 resolving, 2 resolved
+	var resolve func(name string) (*WindowDef, error)
+	resolve = func(name string) (*WindowDef, error) {
+		def, ok := q.Windows[name]
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown window %q", name)
+		}
+		switch state[name] {
+		case 1:
+			return nil, fmt.Errorf("sql: window definition cycle through %q", name)
+		case 2:
+			return def, nil
+		}
+		state[name] = 1
+		if def.Ref != "" {
+			base, err := resolve(strings.ToLower(def.Ref))
+			if err != nil {
+				return nil, err
+			}
+			if err := def.inherit(base); err != nil {
+				return nil, err
+			}
+		}
+		state[name] = 2
+		return def, nil
+	}
+	names := make([]string, 0, len(q.Windows))
+	for name := range q.Windows {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic resolution (and error) order
+	for _, name := range names {
+		if _, err := resolve(name); err != nil {
+			return err
+		}
+	}
+	for i := range q.Items {
+		fc := q.Items[i].Func
+		if fc == nil {
+			continue
+		}
+		if fc.WindowRef != "" {
+			def, ok := q.Windows[strings.ToLower(fc.WindowRef)]
+			if !ok {
+				return fmt.Errorf("sql: unknown window %q", fc.WindowRef)
+			}
+			fc.Window = def
+			continue
+		}
+		if fc.Window != nil && fc.Window.Ref != "" {
+			base, ok := q.Windows[strings.ToLower(fc.Window.Ref)]
+			if !ok {
+				return fmt.Errorf("sql: unknown window %q", fc.Window.Ref)
+			}
+			if err := fc.Window.inherit(base); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func (p *parser) parseSelectItem() (SelectItem, error) {
@@ -267,8 +328,17 @@ func (p *parser) parseFuncCall(name string) (*FuncCall, error) {
 	return fc, nil
 }
 
+// windowBodyKeywords are the words that can open a window-body clause; any
+// other leading identifier names an existing window to inherit from.
+var windowBodyKeywords = map[string]bool{
+	"partition": true, "order": true, "rows": true, "range": true, "groups": true,
+}
+
 func (p *parser) parseWindowBody() (*WindowDef, error) {
 	def := &WindowDef{}
+	if t := p.cur(); t.kind == tokIdent && !windowBodyKeywords[strings.ToLower(t.text)] {
+		def.Ref = p.next().text
+	}
 	if p.acceptKw("partition") {
 		if err := p.expectKw("by"); err != nil {
 			return nil, err

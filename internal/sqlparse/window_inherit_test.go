@@ -1,0 +1,146 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"holistic/internal/core"
+)
+
+func inheritTable() *core.Table {
+	return core.MustNewTable(
+		core.NewInt64Column("g", []int64{1, 1, 2, 2, 1}, nil),
+		core.NewInt64Column("d", []int64{3, 1, 2, 5, 4}, nil),
+		core.NewInt64Column("v", []int64{10, 20, 30, 40, 50}, nil),
+	)
+}
+
+func TestNamedWindowInheritance(t *testing.T) {
+	q, err := Parse(`
+		select count(v) over w2, sum(v) over w1
+		from t
+		window w1 as (partition by g),
+		       w2 as (w1 order by d rows between 1 preceding and current row)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := q.Windows["w2"]
+	if w2.Ref != "" {
+		t.Fatalf("w2.Ref not cleared: %q", w2.Ref)
+	}
+	if len(w2.PartitionBy) != 1 || w2.PartitionBy[0] != "g" {
+		t.Fatalf("w2 did not inherit PARTITION BY: %+v", w2.PartitionBy)
+	}
+	if len(w2.OrderBy) != 1 || w2.OrderBy[0].Column != "d" {
+		t.Fatalf("w2 ORDER BY wrong: %+v", w2.OrderBy)
+	}
+	if w2.Frame == nil || w2.Frame.Mode != "rows" {
+		t.Fatalf("w2 frame wrong: %+v", w2.Frame)
+	}
+	// w1 itself stays frame- and order-free.
+	w1 := q.Windows["w1"]
+	if len(w1.OrderBy) != 0 || w1.Frame != nil {
+		t.Fatalf("w1 mutated by inheritance: %+v", w1)
+	}
+	// The resolved query must execute.
+	res, err := Execute(q, map[string]*core.Table{"t": inheritTable()}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows() != 5 {
+		t.Fatalf("rows = %d", res.Rows())
+	}
+}
+
+func TestNamedWindowInheritanceChainAndForwardRef(t *testing.T) {
+	// w3 references w2 which references w1, with the definitions listed in
+	// the opposite order — resolution is order-independent.
+	q, err := Parse(`
+		select rank(order by v) over w3 from t
+		window w3 as (w2 groups between unbounded preceding and current row),
+		       w2 as (w1 order by d),
+		       w1 as (partition by g)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w3 := q.Windows["w3"]
+	if len(w3.PartitionBy) != 1 || w3.PartitionBy[0] != "g" {
+		t.Fatalf("w3 partition not inherited through the chain: %+v", w3.PartitionBy)
+	}
+	if len(w3.OrderBy) != 1 || w3.OrderBy[0].Column != "d" {
+		t.Fatalf("w3 order not inherited: %+v", w3.OrderBy)
+	}
+	if w3.Frame == nil || w3.Frame.Mode != "groups" {
+		t.Fatalf("w3 frame wrong: %+v", w3.Frame)
+	}
+}
+
+func TestInlineWindowInheritance(t *testing.T) {
+	q, err := Parse(`
+		select sum(v) over (w1 order by d rows 2 preceding) from t
+		window w1 as (partition by g)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.Items[0].Func.Window
+	if len(w.PartitionBy) != 1 || w.PartitionBy[0] != "g" {
+		t.Fatalf("inline window did not inherit: %+v", w)
+	}
+	if len(w.OrderBy) != 1 || w.Frame == nil || w.Frame.Mode != "rows" {
+		t.Fatalf("inline additions lost: %+v", w)
+	}
+}
+
+func TestNamedWindowInheritanceErrors(t *testing.T) {
+	cases := []struct {
+		name, sql, wantErr string
+	}{
+		{
+			name: "cycle",
+			sql: `select count(v) over w1 from t
+			      window w1 as (w2 order by d), w2 as (w1)`,
+			wantErr: "cycle",
+		},
+		{
+			name: "self cycle",
+			sql: `select count(v) over w1 from t
+			      window w1 as (w1 order by d)`,
+			wantErr: "cycle",
+		},
+		{
+			name: "partition override",
+			sql: `select count(v) over w2 from t
+			      window w1 as (partition by g), w2 as (w1 partition by d)`,
+			wantErr: "PARTITION BY",
+		},
+		{
+			name: "order override",
+			sql: `select count(v) over w2 from t
+			      window w1 as (order by d), w2 as (w1 order by v)`,
+			wantErr: "ORDER BY",
+		},
+		{
+			name: "base frame clause",
+			sql: `select count(v) over w2 from t
+			      window w1 as (order by d rows 1 preceding), w2 as (w1)`,
+			wantErr: "frame clause",
+		},
+		{
+			name: "unknown base",
+			sql: `select count(v) over w2 from t
+			      window w2 as (nosuch order by d)`,
+			wantErr: "unknown window",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.sql)
+			if err == nil {
+				t.Fatalf("no error, want %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -100,6 +100,15 @@ func WithoutBatching() Option {
 	return func(o *Options) { o.NoBatch = true }
 }
 
+// WithoutSharedPlan opts SQL execution out of the shared-plan optimizer
+// (Options.NoSharedPlan): every distinct window then sorts, partitions and
+// builds its structures independently, as before the optimizer existed.
+// Results are byte-identical either way; the flag exists for performance
+// comparisons and as an escape hatch. Explain output is unaffected.
+func WithoutSharedPlan() Option {
+	return func(o *Options) { o.NoSharedPlan = true }
+}
+
 // WithEngine sets the run's default evaluation engine: it applies to every
 // function whose Engine was left at the zero value. The zero value is the
 // merge sort tree, so per-function competitor selections (Func.WithEngine)

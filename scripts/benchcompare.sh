@@ -9,7 +9,7 @@
 # Environment knobs:
 #   PKGS       packages to benchmark   (default "./internal/mst/ ./internal/core/
 #                                       ./internal/segment/ ./internal/ingest/
-#                                       ./internal/delta/";
+#                                       ./internal/delta/ ./internal/plan/";
 #                                       packages absent from a tree are skipped
 #                                       there, so new packages don't break the
 #                                       base run)
@@ -26,7 +26,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 base_ref="${1:-$(git merge-base HEAD origin/main 2>/dev/null || git merge-base HEAD main)}"
-PKGS=${PKGS:-"./internal/mst/ ./internal/core/ ./internal/segment/ ./internal/ingest/ ./internal/delta/"}
+PKGS=${PKGS:-"./internal/mst/ ./internal/core/ ./internal/segment/ ./internal/ingest/ ./internal/delta/ ./internal/plan/"}
 BENCH=${BENCH:-"."}
 COUNT=${COUNT:-6}
 BENCHTIME=${BENCHTIME:-"0.5s"}

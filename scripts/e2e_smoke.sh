@@ -71,6 +71,21 @@ dedup_query='{"sql":"select count(distinct v) over (order by d) as cd2 from t"}'
 curl -sf "$base/v1/query" -H 'Content-Type: application/json' -d "$dedup_query" | grep -q '"cd2"' \
     || { echo "FAIL: dedup query missing cd2 column"; exit 1; }
 
+# Shared-plan optimizer: a multi-window statement (named-window inheritance
+# included) must report the plan shape in its query stats, and /v1/explain
+# must return the structured DAG alongside the legacy text plan.
+shared_query='{"sql":"select count(distinct v) over w as cd, count(distinct v) over w2 as cdg, sum(v) over () as s from t window w as (order by d), w2 as (w groups between 2 preceding and current row)"}'
+sp=$(curl -sf "$base/v1/query" -H 'Content-Type: application/json' -d "$shared_query")
+printf '%s' "$sp" | grep -q '"cdg"' || { echo "FAIL: shared-plan query missing cdg column: $sp"; exit 1; }
+[ "$(num "$sp" operators)" -gt 0 ]    || { echo "FAIL: query stats lack operators: $sp"; exit 1; }
+[ "$(num "$sp" sorts_shared)" -gt 0 ] || { echo "FAIL: query stats lack sorts_shared: $sp"; exit 1; }
+[ "$(num "$sp" trees_shared)" -gt 0 ] || { echo "FAIL: query stats lack trees_shared: $sp"; exit 1; }
+explain=$(curl -sf "$base/v1/explain" -H 'Content-Type: application/json' -d "$shared_query")
+printf '%s' "$explain" | grep -q '"plan":'       || { echo "FAIL: explain lost the legacy text plan: $explain"; exit 1; }
+printf '%s' "$explain" | grep -q '"plan_dag":'   || { echo "FAIL: explain lacks the structured DAG: $explain"; exit 1; }
+printf '%s' "$explain" | grep -q '"kind":"sort"' || { echo "FAIL: explain DAG lacks a sort node: $explain"; exit 1; }
+printf '%s' "$explain" | grep -q '"shared_by":'  || { echo "FAIL: explain DAG lacks shared_by annotations: $explain"; exit 1; }
+
 # /v1/metrics: core series must be present and the counters non-zero.
 metrics=$(curl -sf "$base/v1/metrics")
 metric_positive() {
@@ -88,6 +103,9 @@ for series in \
     'windowd_arena_arenas_total' \
     'windowd_mst_batch_queries' \
     'windowd_mst_batch_dedup_hits' \
+    'windowd_plan_shared_sorts' \
+    'windowd_plan_shared_trees' \
+    'windowd_plan_shared_preprocess' \
     'windowd_uptime_seconds'
 do
     metric_positive "$series" || { echo "FAIL: metrics series missing or zero: $series"; printf '%s\n' "$metrics" | head -40; exit 1; }

@@ -2,6 +2,7 @@ package holistic
 
 import (
 	"holistic/internal/core"
+	"holistic/internal/plan"
 	"holistic/internal/sqlparse"
 )
 
@@ -55,4 +56,51 @@ func ExplainSQL(query string) (string, error) {
 		return "", err
 	}
 	return sqlparse.Explain(q)
+}
+
+// PlanNode is one operator of a statement's shared-plan DAG (see PlanSQL).
+type PlanNode = plan.Node
+
+// PlanStats summarizes a plan's sharing: DAG node count and the sorts,
+// trees and preprocessing passes the optimizer eliminated.
+type PlanStats = plan.Stats
+
+// SQLPlan is the structured form of a statement's evaluation plan: the
+// operator DAG in execution order (inputs precede consumers) and the
+// sharing stats. Render the DAG as indented text with RenderPlan.
+type SQLPlan struct {
+	Nodes []PlanNode
+	Stats PlanStats
+}
+
+// PlanSQL runs the shared-plan optimizer over a statement without executing
+// it and returns the structured plan DAG: one sort node per shared-sort
+// cluster, partition-boundary, preprocessing and tree nodes annotated with
+// every function that consumes them, and one probe node per function.
+// ExplainSQL keeps the legacy flat-text contract; PlanSQL is its structured
+// counterpart (the /v1/explain plan_dag field, locally).
+//
+// tables may be nil or missing the FROM table: column kinds are then
+// unknown and the optimizer is conservative about sharing sorts under
+// float-sensitive functions (SUM/MIN/MAX).
+func PlanSQL(query string, tables map[string]*Table) (*SQLPlan, error) {
+	q, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	var src *core.Table
+	if tables != nil {
+		src = tables[q.From]
+	}
+	p, err := sqlparse.BuildPlan(q, src)
+	if err != nil {
+		return nil, err
+	}
+	return &SQLPlan{Nodes: p.Nodes, Stats: p.Stats}, nil
+}
+
+// RenderPlan renders a plan DAG as indented text with shared-node
+// annotations (the windowcli -explain view).
+func RenderPlan(nodes []PlanNode) string {
+	return plan.RenderText(nodes)
 }
