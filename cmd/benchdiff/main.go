@@ -5,8 +5,15 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold pct] [-markdown] old.txt new.txt
-//	benchdiff -snapshot out.json bench.txt
+//	benchdiff [-threshold pct] [-markdown] [-kernels list] old.txt new.txt
+//	benchdiff [-kernels list] -snapshot out.json bench.txt
+//
+// -kernels restricts the comparison (or snapshot) to benchmarks whose name
+// contains any of the comma-separated terms, matched case-insensitively:
+// `-kernels agg,rank` keeps BenchmarkEvalMSTAggBatch and
+// BenchmarkEvalMSTDenseRankBatch but drops the count/select rows. Useful
+// when a PR only touches one batched kernel family and the full table's
+// noise would drown the signal.
 //
 // scripts/benchcompare.sh drives it against the merge-base so CI can fail
 // pull requests that slow the hot paths down, and uses -snapshot to record
@@ -31,6 +38,7 @@ func main() {
 	threshold := flag.Float64("threshold", 10, "fail when ns/op regresses by more than this percentage")
 	markdown := flag.Bool("markdown", false, "emit a GitHub-flavored markdown table")
 	snapshot := flag.String("snapshot", "", "write per-benchmark medians of a single bench file to this JSON path and exit")
+	kernels := flag.String("kernels", "", "comma-separated name terms; keep only benchmarks containing one (case-insensitive)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] old.txt new.txt\n       benchdiff -snapshot out.json bench.txt\n")
 		flag.PrintDefaults()
@@ -45,6 +53,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		set = filterKernels(set, *kernels)
 		if err := writeSnapshot(*snapshot, set); err != nil {
 			fatal(err)
 		}
@@ -62,6 +71,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	oldSet = filterKernels(oldSet, *kernels)
+	newSet = filterKernels(newSet, *kernels)
 	rows := diff(oldSet, newSet)
 	if len(rows) == 0 {
 		fmt.Println("no common benchmarks")
@@ -123,6 +134,34 @@ func parseBench(r io.Reader) (map[string]Samples, error) {
 		}
 	}
 	return out, sc.Err()
+}
+
+// filterKernels keeps benchmarks whose name contains one of the
+// comma-separated terms (case-insensitive). An empty spec keeps everything.
+func filterKernels(set map[string]Samples, spec string) map[string]Samples {
+	if spec == "" {
+		return set
+	}
+	var terms []string
+	for _, t := range strings.Split(spec, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			terms = append(terms, strings.ToLower(t))
+		}
+	}
+	if len(terms) == 0 {
+		return set
+	}
+	out := make(map[string]Samples)
+	for name, s := range set {
+		lower := strings.ToLower(name)
+		for _, t := range terms {
+			if strings.Contains(lower, t) {
+				out[name] = s
+				break
+			}
+		}
+	}
+	return out
 }
 
 // stripProcs removes the trailing -N GOMAXPROCS suffix.

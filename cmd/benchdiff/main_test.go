@@ -160,3 +160,22 @@ func TestRenderMarkdown(t *testing.T) {
 		}
 	}
 }
+
+func TestFilterKernels(t *testing.T) {
+	set := parse(t, oldBench)
+	if got := filterKernels(set, ""); len(got) != len(set) {
+		t.Fatalf("empty spec must keep all %d benchmarks, got %d", len(set), len(got))
+	}
+	got := filterKernels(set, "build, nosuchkernel")
+	if len(got) == 0 {
+		t.Fatal("filter dropped everything")
+	}
+	for name := range got {
+		if !strings.Contains(strings.ToLower(name), "build") {
+			t.Fatalf("filter kept %q, which matches no term", name)
+		}
+	}
+	if len(filterKernels(set, "nosuchkernel")) != 0 {
+		t.Fatal("unmatched term must drop all benchmarks")
+	}
+}

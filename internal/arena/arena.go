@@ -111,6 +111,30 @@ func (a *Arena[T]) Alloc(n int) []T {
 	return s
 }
 
+// AllocAligned returns a zeroed slice of n elements whose backing array
+// starts at a byte address that is a multiple of alignBytes. It over-
+// allocates by at most alignBytes-1 bytes and skips to the first aligned
+// element, so the waste is bounded per call; alignBytes must be a positive
+// multiple of T's size or the call degrades to a plain Alloc. The merge
+// sort tree's struct-of-arrays level stripes use this to pin level and
+// sample slabs to cache-line boundaries.
+func (a *Arena[T]) AllocAligned(n, alignBytes int) []T {
+	if n == 0 {
+		return nil
+	}
+	eb := int(elemBytes[T]())
+	if alignBytes <= eb || alignBytes%eb != 0 {
+		return a.Alloc(n)
+	}
+	alignElems := alignBytes / eb
+	s := a.Alloc(n + alignElems - 1)
+	ofs := 0
+	if rem := int(uintptr(unsafe.Pointer(&s[0])) % uintptr(alignBytes)); rem != 0 {
+		ofs = (alignBytes - rem) / eb
+	}
+	return s[ofs : ofs+n : ofs+n]
+}
+
 // Checkpoint is a point-in-time arena position for Reset.
 type Checkpoint struct {
 	chunk, used int

@@ -6,6 +6,7 @@ import (
 
 	"holistic/internal/frame"
 	"holistic/internal/mst"
+	"holistic/internal/rangetree"
 )
 
 // Chunk-level batched probing. The per-row probe bodies in eval_mst.go issue
@@ -18,11 +19,31 @@ import (
 // answers. Options.NoBatch restores the scalar per-row descents; results are
 // byte-identical either way (batch_equiv_test.go).
 
+// batchFamily partitions the batched collectors into kernel families for
+// the per-family metric split (windowd_mst_batch_queries_family /
+// windowd_mst_batch_dedup_hits_family).
+type batchFamily int
+
+const (
+	famCount  batchFamily = iota // COUNT(DISTINCT): whole-span count queries
+	famSelect                    // percentiles / value functions: selection queries
+	famAgg                       // SUM/AVG(DISTINCT): annotated aggregate queries
+	famRank                      // RANK family and DENSE_RANK: counting rank queries
+	numBatchFamilies
+)
+
+var batchFamilyNames = [numBatchFamilies]string{"count", "select", "agg", "rank"}
+
+func (f batchFamily) String() string { return batchFamilyNames[f] }
+
 // Batch counters, process-wide: exported to the metrics endpoint as
-// windowd_mst_batch_queries / windowd_mst_batch_dedup_hits.
+// windowd_mst_batch_queries / windowd_mst_batch_dedup_hits, plus the
+// per-family split series.
 var (
 	batchQueriesTotal   atomic.Int64
 	batchDedupHitsTotal atomic.Int64
+	batchQueriesByFam   [numBatchFamilies]atomic.Int64
+	batchDedupByFam     [numBatchFamilies]atomic.Int64
 )
 
 // BatchStat is a point-in-time snapshot of the batched-kernel counters.
@@ -43,6 +64,42 @@ func BatchSnapshot() BatchStat {
 	}
 }
 
+// BatchFamilyStat is one kernel family's share of the batch counters.
+type BatchFamilyStat struct {
+	Family    string
+	Queries   int64
+	DedupHits int64
+}
+
+// BatchFamilySnapshot returns the per-family batched-kernel counters, in a
+// fixed family order (count, select, agg, rank).
+func BatchFamilySnapshot() []BatchFamilyStat {
+	out := make([]BatchFamilyStat, numBatchFamilies)
+	for f := batchFamily(0); f < numBatchFamilies; f++ {
+		out[f] = BatchFamilyStat{
+			Family:    batchFamilyNames[f],
+			Queries:   batchQueriesByFam[f].Load(),
+			DedupHits: batchDedupByFam[f].Load(),
+		}
+	}
+	return out
+}
+
+// batchEnabled decides whether the batched collectors run for a partition of
+// n rows: Options.NoBatch always wins; otherwise a configured tuner picks
+// per size (small partitions amortize nothing and the scalar descent's lower
+// constant wins — the crossover lives in the tuner table); with neither set,
+// batching is on.
+func (o Options) batchEnabled(n int) bool {
+	if o.NoBatch {
+		return false
+	}
+	if o.Tree.Tuning != nil {
+		return o.Tree.Tuning.Choose(n).Batch
+	}
+	return true
+}
+
 // batchAgg accumulates one evaluation's batch counters across its parallel
 // probe chunks; runBatched folds it into the process-wide totals and the
 // phase span attributes.
@@ -55,7 +112,7 @@ type batchAgg struct {
 // "mst.query.batch" phase span (the probe phase nests beneath it), recording
 // the batch query and dedup counts as span attributes and adding them to the
 // process-wide counters.
-func runBatched(p *partition, opt Options, body func(lo, hi int, agg *batchAgg)) error {
+func runBatched(p *partition, opt Options, fam batchFamily, body func(lo, hi int, agg *batchAgg)) error {
 	agg := &batchAgg{}
 	sp := opt.trace.Phase("mst.query.batch")
 	if sp != nil {
@@ -63,11 +120,14 @@ func runBatched(p *partition, opt Options, body func(lo, hi int, agg *batchAgg))
 	}
 	err := forEachRow(p, opt, func(lo, hi int) { body(lo, hi, agg) })
 	q, d := agg.queries.Load(), agg.dedup.Load()
+	sp.Set("family", fam.String())
 	sp.SetInt("batch_queries", q)
 	sp.SetInt("batch_dedup_hits", d)
 	sp.End()
 	batchQueriesTotal.Add(q)
 	batchDedupHitsTotal.Add(d)
+	batchQueriesByFam[fam].Add(q)
+	batchDedupByFam[fam].Add(d)
 	return err
 }
 
@@ -361,5 +421,182 @@ func selectChunk(p *partition, f *FuncSpec, fl *filtered, fc *frame.Computer, tr
 	agg.queries.Add(int64(s))
 	agg.dedup.Add(int64(dedup))
 	opt.putInt64s(vb)
+	opt.putInt32s(ib)
+}
+
+// distinctAggChunk evaluates one probe chunk of SUM/AVG(DISTINCT x): one
+// whole-span aggregate query per row — deduped when the row's frame ranges
+// exactly repeat the previous row's, in which case the rows share aggregate,
+// count AND hole correction — answered by the annotated tree's batched
+// kernel, whose per-query count output feeds the NULL rule without a second
+// tree pass. The exclusion-hole subtraction runs once per slot in the
+// scalar walk's hole order, so emitted floats are bitwise identical to the
+// scalar path.
+func distinctAggChunk[S any](p *partition, fl *filtered, fc *frame.Computer, tree *mst.AnnotatedTree[S],
+	prev, next []int64, values []S, sub func(a, b S) S, emit func(row int, v S),
+	out *outBuilder, opt Options, agg *batchAgg, lo, hi int) {
+	n := hi - lo
+	ib := opt.getInt32s(12 * n)
+	rowSlot := ib[:n]
+	qlo, qhi := ib[n:2*n], ib[2*n:3*n]
+	kcnt := ib[3*n : 4*n]
+	slotNR, slotTotal := ib[4*n:5*n], ib[5*n:6*n]
+	slotRanges := ib[6*n : 12*n] // 3 ranges × 2 bounds per slot
+	qthr := opt.getInt64s(n)
+	okv := opt.getBools(n)
+
+	var scratch, mapped [3][2]int
+	var prevRanges [3][2]int
+	prevNR := -1
+	s, dedup := 0, 0
+	for i := lo; i < hi; i++ {
+		ri := i - lo
+		ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
+		if len(ranges) == 0 {
+			rowSlot[ri] = -1
+			prevNR = -1
+			continue
+		}
+		if sameRanges(ranges, prevRanges, prevNR) {
+			rowSlot[ri] = i32(s - 1)
+			dedup++
+			continue
+		}
+		prevNR = copy(prevRanges[:], ranges)
+		a := ranges[0][0]
+		d := ranges[len(ranges)-1][1]
+		total := 0
+		for ro, r := range ranges {
+			total += r[1] - r[0]
+			slotRanges[6*s+2*ro], slotRanges[6*s+2*ro+1] = i32(r[0]), i32(r[1])
+		}
+		qlo[s], qhi[s] = i32(a), i32(d)
+		qthr[s] = int64(a) + 1
+		slotNR[s], slotTotal[s] = i32(len(ranges)), i32(total)
+		rowSlot[ri] = i32(s)
+		s++
+	}
+
+	// The aggregate states cannot live in pooled scratch (generic S); one
+	// short-lived slice per chunk is the cost of type genericity.
+	results := make([]S, s)
+	tree.AggBelowBatch(qlo[:s], qhi[:s], qthr[:s], results, okv[:s], kcnt[:s])
+
+	// Per-slot hole correction and NULL rule, exactly the scalar order.
+	for sl := 0; sl < s; sl++ {
+		nr := int(slotNR[sl])
+		for ro := 0; ro < nr; ro++ {
+			scratch[ro] = [2]int{int(slotRanges[6*sl+2*ro]), int(slotRanges[6*sl+2*ro+1])}
+		}
+		removed := 0
+		forEachFullyExcluded(prev, next, scratch[:nr], func(h int) {
+			results[sl] = sub(results[sl], values[h])
+			removed++
+		})
+		if !okv[sl] || slotTotal[sl] == 0 || int(kcnt[sl])-removed == 0 {
+			okv[sl] = false
+		}
+	}
+
+	for i := lo; i < hi; i++ {
+		ri := i - lo
+		row := p.orig(i)
+		sl := rowSlot[ri]
+		if sl < 0 || !okv[sl] {
+			out.setNull(row)
+			continue
+		}
+		emit(row, results[sl])
+	}
+	agg.queries.Add(int64(s))
+	agg.dedup.Add(int64(dedup))
+	opt.putBools(okv)
+	opt.putInt64s(qthr)
+	opt.putInt32s(ib)
+}
+
+// denseRankChunk evaluates one probe chunk of framed DENSE_RANK: one
+// three-dimensional counting query per row against the range tree — deduped
+// when both the frame ranges and the row's rank repeat (peer rows) —
+// answered by the depth-synchronous batched decomposition, plus the per-slot
+// exclusion-hole correction, which never touches the tree.
+func denseRankChunk(p *partition, fl *filtered, fc *frame.Computer, rt *rangetree.DenseRankTree,
+	ranksAll, ranksKept, prevKept, nextKept []int64,
+	out *outBuilder, opt Options, agg *batchAgg, lo, hi int) {
+	n := hi - lo
+	ib := opt.getInt32s(11 * n)
+	rowSlot := ib[:n]
+	qlo, qhi := ib[n:2*n], ib[2*n:3*n]
+	qout := ib[3*n : 4*n]
+	slotNR := ib[4*n : 5*n]
+	slotRanges := ib[5*n : 11*n]
+	lb := opt.getInt64s(2 * n)
+	qrank, qprev := lb[:n], lb[n:]
+
+	var scratch, mapped [3][2]int
+	var prevRanges [3][2]int
+	prevNR := -1
+	var prevRank int64
+	s, dedup := 0, 0
+	for i := lo; i < hi; i++ {
+		ri := i - lo
+		ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
+		if len(ranges) == 0 {
+			rowSlot[ri] = -1
+			prevNR = -1
+			continue
+		}
+		if ranksAll[i] == prevRank && sameRanges(ranges, prevRanges, prevNR) {
+			rowSlot[ri] = i32(s - 1)
+			dedup++
+			continue
+		}
+		prevNR = copy(prevRanges[:], ranges)
+		prevRank = ranksAll[i]
+		a := ranges[0][0]
+		d := ranges[len(ranges)-1][1]
+		for ro, r := range ranges {
+			slotRanges[6*s+2*ro], slotRanges[6*s+2*ro+1] = i32(r[0]), i32(r[1])
+		}
+		qlo[s], qhi[s] = i32(a), i32(d)
+		qrank[s], qprev[s] = ranksAll[i], int64(a)+1
+		slotNR[s] = i32(len(ranges))
+		rowSlot[ri] = i32(s)
+		s++
+	}
+
+	rt.CountDistinctBelowBatch(qlo[:s], qhi[:s], qrank[:s], qprev[:s], qout[:s])
+
+	for sl := 0; sl < s; sl++ {
+		nr := int(slotNR[sl])
+		if nr < 2 {
+			continue
+		}
+		for ro := 0; ro < nr; ro++ {
+			scratch[ro] = [2]int{int(slotRanges[6*sl+2*ro]), int(slotRanges[6*sl+2*ro+1])}
+		}
+		adj := int32(0)
+		thr := qrank[sl]
+		forEachFullyExcluded(prevKept, nextKept, scratch[:nr], func(h int) {
+			if ranksKept[h] < thr {
+				adj++
+			}
+		})
+		qout[sl] -= adj
+	}
+
+	for i := lo; i < hi; i++ {
+		ri := i - lo
+		row := p.orig(i)
+		sl := rowSlot[ri]
+		if sl < 0 {
+			out.setInt(row, 1)
+			continue
+		}
+		out.setInt(row, int64(qout[sl])+1)
+	}
+	agg.queries.Add(int64(s))
+	agg.dedup.Add(int64(dedup))
+	opt.putInt64s(lb)
 	opt.putInt32s(ib)
 }

@@ -7,6 +7,7 @@ import (
 
 	"holistic/internal/frame"
 	"holistic/internal/mst"
+	"holistic/internal/mst/tune"
 )
 
 // The batched level-synchronous kernels must be invisible in results: for
@@ -105,5 +106,101 @@ func TestBatchEquivalenceDedupHeavy(t *testing.T) {
 	for i := range w.Funcs {
 		f := &w.Funcs[i]
 		assertColumnsIdentical(t, f.Output, batched.Column(f.Output), scalar.Column(f.Output))
+	}
+}
+
+// TestBatchEquivalenceAggRankFamilies pins the PR 10 kernels: the batched
+// SUM/AVG(DISTINCT) collector and the batched DENSE_RANK collector must move
+// their per-family counters (including the adjacent-frame dedup hits that a
+// low-cardinality RANGE frame provokes), and their results must stay
+// byte-identical to the scalar per-row descents.
+func TestBatchEquivalenceAggRankFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(779))
+	tab := randTable(rng, 500)
+	w := &WindowSpec{
+		OrderBy: []SortKey{{Column: "g"}}, // few distinct values: large peer groups
+		Frame: frame.Spec{
+			Mode:  frame.Range,
+			Start: frame.Bound{Type: frame.UnboundedPreceding},
+			End:   frame.Bound{Type: frame.CurrentRow},
+		},
+		FrameSet: true,
+		Funcs: []FuncSpec{
+			{Name: SumDistinct, Output: "sd", Arg: "v"},
+			{Name: SumDistinct, Output: "sdf", Arg: "fv"},
+			{Name: AvgDistinct, Output: "ad", Arg: "v"},
+			{Name: DenseRank, Output: "dr", OrderBy: []SortKey{{Column: "v"}}},
+			{Name: DenseRank, Output: "drf", OrderBy: []SortKey{{Column: "v"}}, Filter: "flt"},
+		},
+	}
+	famIndex := func(stats []BatchFamilyStat, name string) BatchFamilyStat {
+		for _, s := range stats {
+			if s.Family == name {
+				return s
+			}
+		}
+		t.Fatalf("family %q missing from snapshot %+v", name, stats)
+		return BatchFamilyStat{}
+	}
+	before := BatchFamilySnapshot()
+	batched, err := Run(tab, w, Options{TaskSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := BatchFamilySnapshot()
+	for _, fam := range []string{"agg", "rank"} {
+		b, a := famIndex(before, fam), famIndex(after, fam)
+		if a.Queries <= b.Queries {
+			t.Errorf("family %q: batched run did not raise the query counter: %+v -> %+v", fam, b, a)
+		}
+		if a.DedupHits <= b.DedupHits {
+			t.Errorf("family %q: dedup-heavy run did not raise the dedup counter: %+v -> %+v", fam, b, a)
+		}
+	}
+	scalar, err := Run(tab, w, Options{TaskSize: 64, NoBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Funcs {
+		f := &w.Funcs[i]
+		assertColumnsIdentical(t, f.Output, batched.Column(f.Output), scalar.Column(f.Output))
+	}
+}
+
+// TestBatchTunerGatesKernels checks Options.Tree.Tuning's Batch flag: a
+// tuner whose table says "scalar at every size" must keep the batch counters
+// still while producing identical results.
+func TestBatchTunerGatesKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(780))
+	tab := randTable(rng, 200)
+	w := &WindowSpec{
+		OrderBy:  []SortKey{{Column: "d"}},
+		Frame:    frame.Spec{Mode: frame.Rows, Start: frame.Bound{Type: frame.Preceding, Offset: 9}, End: frame.Bound{Type: frame.CurrentRow}},
+		FrameSet: true,
+		Funcs: []FuncSpec{
+			{Name: CountDistinct, Output: "cd", Arg: "v"},
+			{Name: SumDistinct, Output: "sd", Arg: "v"},
+			{Name: DenseRank, Output: "dr", OrderBy: []SortKey{{Column: "v"}}},
+		},
+	}
+	scalarTab, err := tune.NewTable([]tune.Row{{MaxN: 1 << 62, Fanout: 8, SampleEvery: 8, Batch: false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := BatchSnapshot()
+	tuned, err := Run(tab, w, Options{TaskSize: 64, Tree: mst.Options{Tuning: scalarTab}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := BatchSnapshot(); got != before {
+		t.Errorf("tuner with Batch=false still moved the batch counters: %+v -> %+v", before, got)
+	}
+	plain, err := Run(tab, w, Options{TaskSize: 64, NoBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Funcs {
+		f := &w.Funcs[i]
+		assertColumnsIdentical(t, f.Output, tuned.Column(f.Output), plain.Column(f.Output))
 	}
 }

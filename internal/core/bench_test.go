@@ -7,6 +7,7 @@ import (
 	"holistic/internal/frame"
 	"holistic/internal/mst"
 	"holistic/internal/preprocess"
+	"holistic/internal/rangetree"
 	"holistic/internal/treecache"
 )
 
@@ -267,6 +268,175 @@ func BenchmarkEvalMSTRunWarm(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(tab, w, opt); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalMSTAggBatch compares the batched aggregate kernel against the
+// scalar annotated descent on a warm SUM(DISTINCT) probe (sliding ±100 ROWS
+// frame): ns/op is per row. The batched/scalar ratio at 1M rows is the PR 10
+// acceptance number (EXPERIMENTS.md).
+func BenchmarkEvalMSTAggBatch(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		n    int
+	}{{"20k", 20_000}, {"1M", 1_000_000}} {
+		f := &FuncSpec{Name: SumDistinct, Output: "x", Arg: "v"}
+		p, fc := benchPartition(b, size.n, f)
+		var opt Options
+		fl := newFiltered(p, &p.w.Funcs[0], f.Arg, opt)
+		prev, next := buildDistinctInputs(fl, &p.w.Funcs[0], opt)
+		values := make([]int64, fl.k)
+		for j := range values {
+			values[j] = p.t.Column(f.Arg).Int64(fl.orig(j))
+		}
+		add := func(a, b int64) int64 { return a + b }
+		sub := func(a, b int64) int64 { return a - b }
+		tree, err := mst.BuildAnnotated(prev, values, add, opt.Tree)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := newOutBuilder(f.Output, Int64, size.n)
+		emit := func(row int, v int64) { out.setInt(row, v) }
+		for _, arm := range []string{"batched", "scalar"} {
+			arm := arm
+			b.Run(arm+"-"+size.name, func(b *testing.B) {
+				agg := &batchAgg{}
+				var scratch, mapped [3][2]int
+				const chunkRows = 4096
+				distinctAggChunk(p, fl, fc, tree, prev, next, values, sub, emit, out, opt, agg, 0, min(chunkRows, size.n))
+				b.ReportAllocs()
+				b.ResetTimer()
+				row := 0
+				for done := 0; done < b.N; {
+					c := chunkRows
+					if row+c > size.n {
+						c = size.n - row
+					}
+					if done+c > b.N {
+						c = b.N - done
+					}
+					if arm == "batched" {
+						distinctAggChunk(p, fl, fc, tree, prev, next, values, sub, emit, out, opt, agg, row, row+c)
+					} else {
+						for i := row; i < row+c; i++ {
+							ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
+							rw := p.orig(i)
+							if len(ranges) == 0 {
+								out.setNull(rw)
+								continue
+							}
+							a := ranges[0][0]
+							d := ranges[len(ranges)-1][1]
+							v, ok := tree.AggBelow(a, d, int64(a)+1)
+							removed := 0
+							forEachFullyExcluded(prev, next, ranges, func(h int) {
+								v = sub(v, values[h])
+								removed++
+							})
+							total := 0
+							for _, r := range ranges {
+								total += r[1] - r[0]
+							}
+							if !ok || total == 0 || tree.CountBelow(a, d, int64(a)+1)-removed == 0 {
+								out.setNull(rw)
+								continue
+							}
+							emit(rw, v)
+						}
+					}
+					done += c
+					row += c
+					if row == size.n {
+						row = 0
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEvalMSTDenseRankBatch compares the batched depth-synchronous
+// range-tree probe against the scalar canonical-decomposition walk on a warm
+// framed DENSE_RANK (sliding ±100 ROWS frame): ns/op is per row.
+func BenchmarkEvalMSTDenseRankBatch(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		n    int
+	}{{"20k", 20_000}, {"1M", 1_000_000}} {
+		f := &FuncSpec{Name: DenseRank, Output: "x", OrderBy: []SortKey{{Column: "v"}}}
+		p, fc := benchPartition(b, size.n, f)
+		var opt Options
+		fl := newFiltered(p, &p.w.Funcs[0], "", opt)
+		sortedAll := p.sortedByFuncOrder(&p.w.Funcs[0])
+		ranksAll, _ := preprocess.DenseRanks(sortedAll, p.funcEqual(&p.w.Funcs[0]))
+		ranksKept := make([]int64, fl.k)
+		for j := range ranksKept {
+			ranksKept[j] = ranksAll[fl.local(j)]
+		}
+		sortedKept := preprocess.SortIndicesByKeyIn(make([]int32, fl.k), ranksKept)
+		sameKept := func(a, b int) bool { return ranksKept[a] == ranksKept[b] }
+		prevKept := preprocess.PrevIndices(sortedKept, sameKept)
+		nextKept := make([]int64, fl.k)
+		for j := range nextKept {
+			nextKept[j] = int64(fl.k)
+		}
+		for i := 1; i < len(sortedKept); i++ {
+			if sameKept(int(sortedKept[i-1]), int(sortedKept[i])) {
+				nextKept[sortedKept[i-1]] = int64(sortedKept[i])
+			}
+		}
+		rt, err := rangetree.New(ranksKept, prevKept, opt.Tree)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := newOutBuilder(f.Output, Int64, size.n)
+		for _, arm := range []string{"batched", "scalar"} {
+			arm := arm
+			b.Run(arm+"-"+size.name, func(b *testing.B) {
+				agg := &batchAgg{}
+				var scratch, mapped [3][2]int
+				const chunkRows = 4096
+				denseRankChunk(p, fl, fc, rt, ranksAll, ranksKept, prevKept, nextKept, out, opt, agg, 0, min(chunkRows, size.n))
+				b.ReportAllocs()
+				b.ResetTimer()
+				row := 0
+				for done := 0; done < b.N; {
+					c := chunkRows
+					if row+c > size.n {
+						c = size.n - row
+					}
+					if done+c > b.N {
+						c = b.N - done
+					}
+					if arm == "batched" {
+						denseRankChunk(p, fl, fc, rt, ranksAll, ranksKept, prevKept, nextKept, out, opt, agg, row, row+c)
+					} else {
+						for i := row; i < row+c; i++ {
+							ranges := fl.frameRanges(fc, i, scratch[:], mapped[:])
+							rw := p.orig(i)
+							if len(ranges) == 0 {
+								out.setInt(rw, 1)
+								continue
+							}
+							a := ranges[0][0]
+							d := ranges[len(ranges)-1][1]
+							cnt := rt.CountDistinctBelow(a, d, ranksAll[i], int64(a)+1)
+							forEachFullyExcluded(prevKept, nextKept, ranges, func(h int) {
+								if ranksKept[h] < ranksAll[i] {
+									cnt--
+								}
+							})
+							out.setInt(rw, int64(cnt)+1)
+						}
+					}
+					done += c
+					row += c
+					if row == size.n {
+						row = 0
+					}
+				}
+			})
 		}
 	}
 }

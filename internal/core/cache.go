@@ -132,13 +132,18 @@ func orderSig(p *partition, f *FuncSpec) string {
 
 // treeSig renders the tree options that shape a merge sort tree's
 // structure. Serial only affects how construction is scheduled, never the
-// result, so it is excluded.
+// result, so it is excluded. The ",l2" component versions the physical
+// layout (the PR 10 cache-line-padded SoA sample stride): entries cached by
+// an older layout render a different signature and are never mixed with the
+// current one — this matters most for delta runs, whose "pk=…|pd<stamp>"
+// keys deliberately survive across epochs.
 func treeSig(o mst.Options) string {
 	var b strings.Builder
 	b.WriteString("f=")
 	b.WriteString(strconv.Itoa(o.Fanout))
 	b.WriteString(",k=")
 	b.WriteString(strconv.Itoa(o.SampleEvery))
+	b.WriteString(",l2")
 	if o.NoCascading {
 		b.WriteString(",nc")
 	}
@@ -151,6 +156,13 @@ func treeSig(o mst.Options) string {
 		// thresholds must not share cache entries.
 		b.WriteString(",sp")
 		b.WriteString(strconv.Itoa(o.SpillRows))
+	}
+	if o.Tuning != nil {
+		// A tuner rewrites zero Fanout/SampleEvery per partition size, so
+		// trees built under different tuner tables (or with and without one)
+		// must not alias — the tuner's signature becomes part of every key.
+		b.WriteString(",tn:")
+		b.WriteString(o.Tuning.Sig())
 	}
 	return b.String()
 }

@@ -247,7 +247,7 @@ func evalDistinct(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder
 		if err != nil {
 			return err
 		}
-		if opt.NoBatch {
+		if !opt.batchEnabled(p.len()) {
 			return forEachRow(p, opt, func(lo, hi int) {
 				var scratch, mapped [3][2]int
 				for i := lo; i < hi; i++ {
@@ -256,7 +256,7 @@ func evalDistinct(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilder
 				}
 			})
 		}
-		return runBatched(p, opt, func(lo, hi int, agg *batchAgg) {
+		return runBatched(p, opt, famCount, func(lo, hi int, agg *batchAgg) {
 			distinctCountChunk(p, fl, fc, st.tree, st.prev, st.next, out, opt, agg, lo, hi)
 		})
 
@@ -332,6 +332,11 @@ func runSumDistinct[S any](p *partition, f *FuncSpec, fc *frame.Computer, out *o
 		return err
 	}
 	prev, next, values, tree := st.prev, st.next, st.values, st.tree
+	if opt.batchEnabled(p.len()) {
+		return runBatched(p, opt, famAgg, func(lo, hi int, agg *batchAgg) {
+			distinctAggChunk(p, fl, fc, tree, prev, next, values, sub, emit, out, opt, agg, lo, hi)
+		})
+	}
 	return forEachRow(p, opt, func(lo, hi int) {
 		var scratch, mapped [3][2]int
 		for i := lo; i < hi; i++ {
@@ -416,8 +421,8 @@ func evalRankFamily(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuild
 	}
 	keysAll, tree := st.keysAll, st.tree
 
-	if !opt.NoBatch {
-		return runBatched(p, opt, func(lo, hi int, agg *batchAgg) {
+	if opt.batchEnabled(p.len()) {
+		return runBatched(p, opt, famRank, func(lo, hi int, agg *batchAgg) {
 			rankChunk(p, f, fl, fc, tree, keysAll, out, opt, agg, lo, hi)
 		})
 	}
@@ -532,6 +537,11 @@ func evalDenseRank(p *partition, f *FuncSpec, fc *frame.Computer, out *outBuilde
 	}
 	ranksAll, ranksKept, prevKept, nextKept, rt := st.ranksAll, st.ranksKept, st.prevKept, st.nextKept, st.rt
 
+	if opt.batchEnabled(p.len()) {
+		return runBatched(p, opt, famRank, func(lo, hi int, agg *batchAgg) {
+			denseRankChunk(p, fl, fc, rt, ranksAll, ranksKept, prevKept, nextKept, out, opt, agg, lo, hi)
+		})
+	}
 	return forEachRow(p, opt, func(lo, hi int) {
 		var scratch, mapped [3][2]int
 		for i := lo; i < hi; i++ {
@@ -590,8 +600,8 @@ func evalSelectFamily(p *partition, f *FuncSpec, fc *frame.Computer, out *outBui
 	}
 	tree := st.tree
 
-	if !opt.NoBatch {
-		return runBatched(p, opt, func(lo, hi int, agg *batchAgg) {
+	if opt.batchEnabled(p.len()) {
+		return runBatched(p, opt, famSelect, func(lo, hi int, agg *batchAgg) {
 			selectChunk(p, f, fl, fc, tree, valueCol, out, opt, agg, lo, hi)
 		})
 	}

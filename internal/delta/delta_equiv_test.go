@@ -16,6 +16,7 @@ import (
 	"holistic/internal/delta"
 	"holistic/internal/frame"
 	"holistic/internal/mst"
+	"holistic/internal/mst/tune"
 	"holistic/internal/treecache"
 )
 
@@ -260,8 +261,11 @@ func requireColumnsIdentical(t *testing.T, got, want *core.Column, label string)
 // under every tree variant including spilled chunk forests.
 func TestDeltaEquivalenceRandomized(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
-	treeVariants := []mst.Options{{}, {Fanout: 2, SampleEvery: 1}, {SpillRows: 16}}
-	for trial := 0; trial < 6; trial++ {
+	// The tuner variant exercises the ",tn:" cache-key component: delta
+	// re-keys (pk=…|pd<stamp>) survive across epochs, so a tuned tree
+	// aliasing an untuned entry would surface here as a wrong answer.
+	treeVariants := []mst.Options{{}, {Fanout: 2, SampleEvery: 1}, {SpillRows: 16}, {Tuning: tune.Default()}}
+	for trial := 0; trial < 8; trial++ {
 		nBase := []int{0, 3, 20, 45}[trial%4]
 		var rows [][]delta.Value
 		nextKey := int64(0)
@@ -322,7 +326,9 @@ func TestDeltaEquivalenceRandomized(t *testing.T) {
 			if err != nil {
 				t.Fatalf("trial %d batch %d: delta run: %v", trial, batch, err)
 			}
-			want, err := core.Run(tab, w, core.Options{Tree: tv, TaskSize: 16})
+			// The rebuild oracle runs scalar (NoBatch): the delta path's
+			// batched kernels must be invisible against it byte-for-byte.
+			want, err := core.Run(tab, w, core.Options{Tree: tv, TaskSize: 16, NoBatch: true})
 			if err != nil {
 				t.Fatalf("trial %d batch %d: rebuild run: %v", trial, batch, err)
 			}

@@ -1,0 +1,111 @@
+package mst
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// TestAggBelowBatchMatchesScalar cross-checks AggBelowBatch against
+// per-query AggBelow with a string-concatenation merge, so any deviation in
+// the take order — not just the take set — fails the test. The count output
+// is cross-checked against CountBelow.
+func TestAggBelowBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	merge := func(a, b string) string { return a + "|" + b }
+	for _, opt := range batchVariants() {
+		for _, n := range []int{0, 1, 2, 7, 33, 257, 4000, ovcMinN + 500} {
+			keys := make([]int64, n)
+			values := make([]string, n)
+			for i := range keys {
+				keys[i] = int64(rng.Intn(n + 1))
+				values[i] = strconv.Itoa(i)
+			}
+			at, err := BuildAnnotated(keys, values, merge, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := 2*n + 16
+			lo := make([]int32, m)
+			hi := make([]int32, m)
+			thr := make([]int64, m)
+			for q := 0; q < m; q++ {
+				switch q % 4 {
+				case 0: // sliding frame, monotone threshold
+					lo[q] = int32(q / 2)
+					hi[q] = int32(q/2 + 50)
+					thr[q] = int64(q/2) + 1
+				case 1: // random in-domain
+					lo[q] = int32(rng.Intn(n + 1))
+					hi[q] = lo[q] + int32(rng.Intn(n+1))
+					thr[q] = int64(rng.Intn(n + 2))
+				case 2: // duplicate of the previous query (dedup shape)
+					lo[q], hi[q], thr[q] = lo[q-1], hi[q-1], thr[q-1]
+				default: // clamping, trivial and full-span cases
+					lo[q] = int32(rng.Intn(2*n+3) - n - 1)
+					hi[q] = int32(rng.Intn(2*n+3) - n - 1)
+					thr[q] = []int64{-1, 0, int64(n) + 7, math.MaxInt64, 3}[rng.Intn(5)]
+				}
+			}
+			result := make([]string, m)
+			okv := make([]bool, m)
+			cnt := make([]int32, m)
+			at.AggBelowBatch(lo, hi, thr, result, okv, cnt)
+			for q := 0; q < m; q++ {
+				want, wantOK := at.AggBelow(int(lo[q]), int(hi[q]), thr[q])
+				if okv[q] != wantOK || (wantOK && result[q] != want) {
+					t.Fatalf("opt=%+v n=%d query %d: AggBelowBatch(%d,%d,%d)=(%q,%v), scalar=(%q,%v)",
+						opt, n, q, lo[q], hi[q], thr[q], result[q], okv[q], want, wantOK)
+				}
+				if wantCnt := at.CountBelow(int(lo[q]), int(hi[q]), thr[q]); int(cnt[q]) != wantCnt {
+					t.Fatalf("opt=%+v n=%d query %d: batch cnt=%d, CountBelow=%d",
+						opt, n, q, cnt[q], wantCnt)
+				}
+			}
+		}
+	}
+}
+
+// TestAggBelowBatchFloatBitIdentical pins the floating-point guarantee the
+// collectors rely on: batched SUM-style merges are bit-identical to the
+// scalar walk, across magnitudes chosen so that any reordering changes the
+// rounding.
+func TestAggBelowBatchFloatBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	merge := func(a, b float64) float64 { return a + b }
+	n := 3000
+	keys := make([]int64, n)
+	values := make([]float64, n)
+	for i := range keys {
+		keys[i] = int64(rng.Intn(n + 1))
+		values[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20)-10))
+	}
+	at, err := BuildAnnotated(keys, values, merge, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := 4 * n
+	lo := make([]int32, m)
+	hi := make([]int32, m)
+	thr := make([]int64, m)
+	for q := 0; q < m; q++ {
+		lo[q] = int32(rng.Intn(n))
+		hi[q] = lo[q] + int32(rng.Intn(n/2+1))
+		thr[q] = int64(rng.Intn(n + 2))
+	}
+	result := make([]float64, m)
+	okv := make([]bool, m)
+	cnt := make([]int32, m)
+	at.AggBelowBatch(lo, hi, thr, result, okv, cnt)
+	for q := 0; q < m; q++ {
+		want, wantOK := at.AggBelow(int(lo[q]), int(hi[q]), thr[q])
+		if okv[q] != wantOK {
+			t.Fatalf("query %d: ok=%v scalar=%v", q, okv[q], wantOK)
+		}
+		if wantOK && math.Float64bits(result[q]) != math.Float64bits(want) {
+			t.Fatalf("query %d: batch sum %x differs from scalar %x",
+				q, math.Float64bits(result[q]), math.Float64bits(want))
+		}
+	}
+}

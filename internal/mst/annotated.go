@@ -29,6 +29,8 @@ type AnnotatedTree[S any] struct {
 	merge func(S, S) S
 	n     int
 	shift int64
+	// noArena mirrors Options.NoArena for the batched kernel's scratch.
+	noArena bool
 }
 
 // BuildAnnotated constructs an annotated merge sort tree over keys, where
@@ -36,7 +38,7 @@ type AnnotatedTree[S any] struct {
 // aggregate states. Keys must lie in [0, len(keys)] — the previous-index
 // domain of §5.1.
 func BuildAnnotated[S any](keys []int64, values []S, merge func(S, S) S, opt Options) (*AnnotatedTree[S], error) {
-	opt = opt.withDefaults()
+	opt = opt.resolveFor(len(keys))
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
@@ -56,10 +58,11 @@ func BuildAnnotated[S any](keys []int64, values []S, merge func(S, S) S, opt Opt
 		composite[i] = k*shift + int64(i)
 	}
 	at := &AnnotatedTree[S]{
-		t:     buildTree(composite, opt),
-		merge: merge,
-		n:     n,
-		shift: shift,
+		t:       buildTree(composite, opt),
+		merge:   merge,
+		n:       n,
+		shift:   shift,
+		noArena: opt.NoArena,
 	}
 	// Annotate every level with per-run prefix aggregates. The base position
 	// of an element is recovered from its composite key, so annotations can

@@ -48,15 +48,18 @@ func buildTree[P payload](base []P, opt Options) *tree[P] {
 	var arS *arena.Arena[int32]
 	if !opt.NoArena {
 		totalP, totalS := 0, 0
+		// Each level's slab is cache-line aligned (AllocAligned), so budget
+		// one line of alignment slack per stripe on top of the exact sizes.
+		slackP := cacheLineBytes / int(unsafe.Sizeof(*new(P)))
 		for rl := 1; rl < n; {
 			rl *= t.f
 			if rl > n {
 				rl = n
 			}
-			totalP += n
+			totalP += n + slackP
 			if cascade {
 				numRuns := (n + rl - 1) / rl
-				totalS += numRuns * (rl/t.k + 1) * t.f
+				totalS += numRuns*sampleStride(rl, t.k, t.f) + cacheLineBytes/4
 			}
 		}
 		arP = arena.New[P](totalP)
@@ -74,7 +77,7 @@ func buildTree[P payload](base []P, opt Options) *tree[P] {
 		t.effLen = append(t.effLen, rl)
 		var out []P
 		if arP != nil {
-			out = arP.Alloc(n)
+			out = arP.AllocAligned(n, cacheLineBytes)
 		} else {
 			out = make([]P, n)
 		}
@@ -83,11 +86,12 @@ func buildTree[P payload](base []P, opt Options) *tree[P] {
 		var samples []int32
 		stride := 0
 		if cascade {
-			stride = (rl/t.k + 1) * t.f
-			// Sample slots beyond a run's child count stay zero; the arena
-			// hands out zeroed memory just like make.
+			stride = sampleStride(rl, t.k, t.f)
+			// Sample slots beyond a run's child count — including the
+			// cache-line padding tail of every run row — stay zero; the
+			// arena hands out zeroed memory just like make.
 			if arS != nil {
-				samples = arS.Alloc(numRuns * stride)
+				samples = arS.AllocAligned(numRuns*stride, cacheLineBytes)
 			} else {
 				samples = make([]int32, numRuns*stride)
 			}
@@ -132,6 +136,7 @@ func buildTree[P payload](base []P, opt Options) *tree[P] {
 			break
 		}
 	}
+	finalizeCodes(t)
 	return t
 }
 
@@ -178,14 +183,14 @@ func payloadPool[P payload]() *arena.Pool[P] {
 	return nil
 }
 
-// mergeScratch acquires per-task merge state: a 6f-element int32 buffer
-// (cursors, run ends, tiebreaks, loser tree, winner init — sliced by
-// mergePiece) and an f-element head-value array.
+// mergeScratch acquires per-task merge state: a 7f-element int32 buffer
+// (cursors, run ends, tiebreaks, loser tree, winner init, head codes —
+// sliced by mergePiece) and an f-element head-value array.
 func mergeScratch[P payload](f int, noPool bool) ([]int32, []P) {
 	if noPool {
-		return make([]int32, 6*f), make([]P, f)
+		return make([]int32, 7*f), make([]P, f)
 	}
-	buf := arena.Int32s.Get(6 * f)
+	buf := arena.Int32s.Get(7 * f)
 	if p := payloadPool[P](); p != nil {
 		//lint:poollifecycle-ok mergeScratch is the acquire half of a documented pair; putMergeScratch returns both buffers
 		return buf, p.Get(f)
@@ -308,14 +313,19 @@ func maxPayload[P payload]() P {
 // row of mergeRunParallel's split table); nil means the piece starts at the
 // beginning of every child.
 //
-// buf is mergeScratch's 6f-element scratch, laid out as cursor | end | tb |
-// ltree | winners(2f): cursor[c]/end[c] are leaf c's absolute position and
-// limit within childData, so refilling a leaf is two loads and a compare —
-// no re-slicing. Node layout: leaves occupy virtual slots m..2m-1 (leaf c at
-// m+c), internal nodes 1..m-1 hold the loser of their subtree's playoff,
-// parent(i) = i/2. vals[c]/tb[c] are leaf c's head value and tiebreak; an
-// exhausted leaf holds (maxPayload, m+c) so it loses against any live leaf,
-// even one whose head equals maxPayload (live tiebreaks are < m).
+// buf is mergeScratch's 7f-element scratch, laid out as cursor | end | tb |
+// ltree | winners(2f) | codes: cursor[c]/end[c] are leaf c's absolute
+// position and limit within childData, so refilling a leaf is two loads and
+// a compare — no re-slicing. Node layout: leaves occupy virtual slots
+// m..2m-1 (leaf c at m+c), internal nodes 1..m-1 hold the loser of their
+// subtree's playoff, parent(i) = i/2. vals[c]/tb[c] are leaf c's head value
+// and tiebreak; an exhausted leaf holds (maxPayload, m+c) so it loses
+// against any live leaf, even one whose head equals maxPayload (live
+// tiebreaks are < m). For 64-bit payloads, codes[c] caches the offset-value
+// code of leaf c's head (soa.go): the tournament replay compares the 32-bit
+// codes first and falls through to the full keys only on a code tie, which
+// resolves most comparisons on the narrow stripe. Codes project the keys
+// monotonically, so the merge order is bit-identical to the uncoded path.
 //
 // Samples are recorded at every output position that is a multiple of k,
 // plus the final boundary; the merge loop runs in sample-free blocks so the
@@ -376,9 +386,15 @@ func (t *tree[P]) mergePiece(out []P, childData []P, childLen, m int, split []in
 		return
 	}
 	maxV := maxPayload[P]()
+	ovc := unsafe.Sizeof(maxV) == 8
 	tb := buf[2*f : 2*f+m]
 	ltree := buf[3*f : 3*f+m]
 	winners := buf[4*f : 4*f+2*m]
+	codes := buf[6*f : 6*f+m]
+	// Head codes are uint32 bit patterns stored in int32 scratch; every code
+	// comparison casts back to uint32, where codeOf's sign-bias makes the
+	// unsigned order match the signed key order.
+	maxCode := int32(codeOf(maxV))
 	for c := 0; c < m; c++ {
 		if cursor[c] < end[c] {
 			vals[c] = childData[cursor[c]]
@@ -387,6 +403,7 @@ func (t *tree[P]) mergePiece(out []P, childData []P, childLen, m int, split []in
 			vals[c] = maxV
 			tb[c] = i32(m + c)
 		}
+		codes[c] = int32(codeOf(vals[c]))
 	}
 	// Build the tournament bottom-up: winners[] is only needed during init.
 	for c := 0; c < m; c++ {
@@ -394,7 +411,9 @@ func (t *tree[P]) mergePiece(out []P, childData []P, childLen, m int, split []in
 	}
 	for i := m - 1; i >= 1; i-- {
 		a, b := winners[2*i], winners[2*i+1]
-		if vals[a] < vals[b] || (vals[a] == vals[b] && tb[a] < tb[b]) {
+		ca, cb := uint32(codes[a]), uint32(codes[b])
+		if ca < cb || (ca == cb &&
+			(vals[a] < vals[b] || (vals[a] == vals[b] && tb[a] < tb[b]))) {
 			winners[i], ltree[i] = a, b
 		} else {
 			winners[i], ltree[i] = b, a
@@ -411,6 +430,49 @@ func (t *tree[P]) mergePiece(out []P, childData []P, childLen, m int, split []in
 			if next := (p/k + 1) * k; next < stop {
 				stop = next
 			}
+		}
+		if ovc {
+			// 64-bit payloads: code-first replay. The duplicated loop keeps
+			// the 32-bit path free of the extra stripe maintenance.
+			for ; p < stop; p++ {
+				c := winner
+				out[p] = vals[c]
+				pos := cursor[c] + 1
+				cursor[c] = pos
+				if pos < end[c] {
+					v := childData[pos]
+					vals[c] = v
+					codes[c] = int32(codeOf(v))
+				} else {
+					vals[c] = maxV
+					codes[c] = maxCode
+					tb[c] = i32(m) + c
+				}
+				// Replay the root path: the refilled leaf competes against
+				// the stored losers; whoever loses stays, the winner moves
+				// up. Codes resolve unequal pairs without touching the keys.
+				w := c
+				vw, tw, cw := vals[w], tb[w], uint32(codes[w])
+				for i := (m + int(c)) >> 1; i >= 1; i >>= 1 {
+					l := ltree[i]
+					cl := uint32(codes[l])
+					if cl != cw {
+						if cl < cw {
+							ltree[i] = w
+							w, cw = l, cl
+							vw, tw = vals[l], tb[l]
+						}
+						continue
+					}
+					vl, tl := vals[l], tb[l]
+					if vl < vw || (vl == vw && tl < tw) {
+						ltree[i] = w
+						w, vw, tw = l, vl, tl
+					}
+				}
+				winner = w
+			}
+			continue
 		}
 		for ; p < stop; p++ {
 			c := winner

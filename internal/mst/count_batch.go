@@ -129,7 +129,7 @@ func countKernel[P payload](t *tree[P], lo, hi []int32, thr []P, out []int32, no
 		if lo[q] >= hi[q] {
 			continue
 		}
-		rank := lowerBoundFromP(run0, thr[q], g)
+		rank := topSearch(t, run0, thr[q], g)
 		g = rank
 		if lo[q] <= 0 && int(hi[q]) >= t.n {
 			out[q] = i32(rank)

@@ -118,6 +118,57 @@ func FuzzCountSelect(f *testing.F) {
 	})
 }
 
+// FuzzAggBatch cross-checks the batched aggregate kernel against the scalar
+// annotated descent: results must be byte-identical (the merge is an
+// order-sensitive string concatenation, so any reordering of the take fold
+// shows up immediately), ok flags must agree, and the count side output must
+// match CountBelow.
+func FuzzAggBatch(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 250, 0, 0, 9}, 0, 7, int64(4), uint8(0), uint8(0), uint8(0))
+	f.Add([]byte{5, 5, 5, 5}, 1, 3, int64(5), uint8(3), uint8(2), uint8(1))
+	f.Add([]byte{}, 0, 0, int64(0), uint8(2), uint8(1), uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, lo, hi int, threshold int64, fanout, sampleEvery, flags uint8) {
+		keys := make([]int64, len(data))
+		vals := make([]string, len(data))
+		for i, b := range data {
+			// Annotated keys live in the previous-index domain [0, n].
+			keys[i] = int64(int(b) % (len(data) + 1))
+			vals[i] = string(rune('a' + int(b)%26))
+		}
+		opt := Options{
+			Fanout:      2 + int(fanout%7),
+			SampleEvery: 1 + int(sampleEvery%15),
+			NoCascading: flags&1 != 0,
+			Force64:     flags&2 != 0,
+			NoArena:     flags&4 != 0,
+		}
+		at, err := BuildAnnotated(keys, vals, func(a, b string) string { return a + "|" + b }, opt)
+		if err != nil {
+			t.Fatalf("BuildAnnotated(%d keys, %+v): %v", len(keys), opt, err)
+		}
+		// Repeat, perturb and full-span the query so the batch sees dedup,
+		// bidirectional galloping and the top-level fast path in one pass.
+		bLo := []int32{int32(lo), int32(lo), 0, int32(lo + 1)}
+		bHi := []int32{int32(hi), int32(hi), int32(len(keys)), int32(hi + 3)}
+		bThr := []int64{threshold, threshold, threshold, threshold - 1}
+		res := make([]string, len(bLo))
+		ok := make([]bool, len(bLo))
+		cnt := make([]int32, len(bLo))
+		at.AggBelowBatch(bLo, bHi, bThr, res, ok, cnt)
+		for q := range bLo {
+			wantRes, wantOK := at.AggBelow(int(bLo[q]), int(bHi[q]), bThr[q])
+			if ok[q] != wantOK || (ok[q] && res[q] != wantRes) {
+				t.Errorf("AggBelowBatch query %d (%d, %d, %d) = (%q, %v), scalar (%q, %v) (opt %+v)",
+					q, bLo[q], bHi[q], bThr[q], res[q], ok[q], wantRes, wantOK, opt)
+			}
+			if wantCnt := at.CountBelow(int(bLo[q]), int(bHi[q]), bThr[q]); int(cnt[q]) != wantCnt {
+				t.Errorf("AggBelowBatch query %d count = %d, scalar CountBelow %d (opt %+v)",
+					q, cnt[q], wantCnt, opt)
+			}
+		}
+	})
+}
+
 // FuzzSerialize round-trips fuzzer-built trees through the MST1 format and
 // checks the deserialized tree answers count and select queries identically
 // to the original, across payload widths, fanouts and sampling rates.

@@ -115,8 +115,8 @@ func selectKernel[P payload](t *tree[P], off []int32, vlo, vhi []P, k []int32, o
 		total := 0
 		for j := o0; j < o1; j++ {
 			ord := j - o0
-			a := lowerBoundFromP(run0, vlo[j], glo[ord])
-			b := lowerBoundFromP(run0, vhi[j], ghi[ord])
+			a := topSearch(t, run0, vlo[j], glo[ord])
+			b := topSearch(t, run0, vhi[j], ghi[ord])
 			glo[ord], ghi[ord] = a, b
 			rlo[j], rhi[j] = i32(a), i32(b)
 			total += b - a

@@ -255,9 +255,13 @@ func readTree[P payload](r io.Reader, opt Options, n, levels int, flags uint32) 
 				return nil, fmt.Errorf("mst: reading stride %d: %w", l, err)
 			}
 			numRuns := (n + t.effLen[l] - 1) / t.effLen[l]
-			want := (t.effLen[l]/t.k + 1) * t.f
-			if int(stride) != want {
-				return nil, fmt.Errorf("mst: level %d stride %d, want %d", l, stride, want)
+			// Accept both the padded SoA stride (the current layout) and the
+			// dense pre-padding stride, so records written before the layout
+			// change still load; probes only index the dense prefix of a row.
+			padded := sampleStride(t.effLen[l], t.k, t.f)
+			dense := (t.effLen[l]/t.k + 1) * t.f
+			if int(stride) != padded && int(stride) != dense {
+				return nil, fmt.Errorf("mst: level %d stride %d, want %d or %d", l, stride, padded, dense)
 			}
 			t.stride[l] = int(stride)
 			t.samples[l] = make([]int32, numRuns*int(stride))
@@ -266,5 +270,6 @@ func readTree[P payload](r io.Reader, opt Options, n, levels int, flags uint32) 
 			}
 		}
 	}
+	finalizeCodes(t)
 	return t, nil
 }

@@ -78,10 +78,44 @@ type Options struct {
 	// Build honors the option (BuildAnnotated stays monolithic because its
 	// float prefix aggregates depend on merge order). 0 disables spilling.
 	SpillRows int
+	// Tuning, when non-nil, supplies measured construction parameters per
+	// input size: Build and BuildAnnotated consult it for the fanout and
+	// sample distance when the corresponding field is left zero, replacing
+	// the paper's fixed f = k = 32 with the tuner's crossover-derived
+	// choice (package mst/tune provides the canonical implementation).
+	// Explicitly set Fanout/SampleEvery always win over the tuner. The
+	// tuner shapes the built structure, so its Sig() must be folded into
+	// any cache key derived from these options.
+	Tuning Tuner
 	// Trace, when non-nil, receives one child span per merge level during
 	// construction. It never influences the built structure, so it is
 	// excluded from structural signatures and not persisted by Serialize.
 	Trace *obs.Span
+}
+
+// Choice is a Tuner's parameter pick for one input size.
+type Choice struct {
+	// Fanout and SampleEvery are the construction parameters (f, k).
+	// Values < 2 (resp. < 1) are ignored and fall back to the defaults.
+	Fanout      int
+	SampleEvery int
+	// Batch reports whether the batched level-synchronous probe kernels
+	// are expected to beat the scalar per-query descents at this size.
+	// The tree itself answers identically either way; the window
+	// operator uses the flag to pick its probe path.
+	Batch bool
+}
+
+// Tuner supplies per-input-size construction and probe parameters, derived
+// from measured build+probe crossover curves (see internal/mst/tune).
+// Implementations must be deterministic — the same n always yields the same
+// Choice — and safe for concurrent use. Sig must return a stable signature
+// identifying the table the tuner answers from: it becomes part of tree
+// cache keys, so two tuners that could ever answer differently must have
+// different signatures.
+type Tuner interface {
+	Choose(n int) Choice
+	Sig() string
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +126,24 @@ func (o Options) withDefaults() Options {
 		o.SampleEvery = DefaultSampleEvery
 	}
 	return o
+}
+
+// resolveFor applies the auto-tuner's parameter choice for an input of n
+// elements to every field the caller left zero, then fills the remaining
+// zeros with the paper defaults. The result is a pure function of (o, n),
+// so rebuilding the same input with the same options always yields the
+// same structure — the property delta re-keys and the treecache rely on.
+func (o Options) resolveFor(n int) Options {
+	if o.Tuning != nil {
+		c := o.Tuning.Choose(n)
+		if o.Fanout == 0 && c.Fanout >= 2 {
+			o.Fanout = c.Fanout
+		}
+		if o.SampleEvery == 0 && c.SampleEvery >= 1 {
+			o.SampleEvery = c.SampleEvery
+		}
+	}
+	return o.withDefaults()
 }
 
 func (o Options) validate() error {
@@ -126,10 +178,16 @@ type tree[P payload] struct {
 	// consumed-element counts, one per child run. Flattened as
 	// samples[l][r*stride(l) + s*f + child]. nil when cascading is off.
 	samples [][]int32
-	// stride[l] is the per-run sample stride at level l.
+	// stride[l] is the per-run sample stride at level l, padded to whole
+	// cache lines (sampleStride, soa.go).
 	stride []int
 	// effLen[l] is the run length at level l (f^l), clamped to n at the top.
 	effLen []int
+	// topCodes is the offset-value code stripe of the top run: the high
+	// 32-bit word of every element, used by the batched kernels' top-level
+	// searches. Only materialized for 64-bit payload trees of at least
+	// ovcMinN elements (soa.go); nil otherwise.
+	topCodes []uint32
 }
 
 // Tree is a merge sort tree over an int64 payload array. It transparently
@@ -158,7 +216,7 @@ type Tree struct {
 // non-negative integers; the special value "–" is mapped to 0 with all
 // indices shifted by one, §5.1).
 func Build(keys []int64, opt Options) (*Tree, error) {
-	opt = opt.withDefaults()
+	opt = opt.resolveFor(len(keys))
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}

@@ -42,6 +42,8 @@ type node struct {
 type DenseRankTree struct {
 	n     int
 	nodes []node
+	// noArena mirrors the build Options' NoArena for batch-query scratch.
+	noArena bool
 }
 
 // New builds the structure for a partition in window order. ranks[i] is the
@@ -53,7 +55,7 @@ func New(ranks, prevIdcs []int64, opt mst.Options) (*DenseRankTree, error) {
 		return nil, fmt.Errorf("rangetree: %d ranks but %d prevIdcs", len(ranks), len(prevIdcs))
 	}
 	n := len(ranks)
-	t := &DenseRankTree{n: n}
+	t := &DenseRankTree{n: n, noArena: opt.NoArena}
 	if n == 0 {
 		return t, nil
 	}

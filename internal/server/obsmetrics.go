@@ -43,6 +43,8 @@ import (
 //	windowd_pool_bytes_in_flight{pool}            gauge  (func)
 //	windowd_mst_batch_queries                     counter (func)
 //	windowd_mst_batch_dedup_hits                  counter (func)
+//	windowd_mst_batch_queries_family              counter (func, labels: family)
+//	windowd_mst_batch_dedup_hits_family           counter (func, labels: family)
 //	windowd_plan_shared_sorts                     counter (func)
 //	windowd_plan_shared_trees                     counter (func)
 //	windowd_plan_shared_preprocess                counter (func)
@@ -172,6 +174,26 @@ func newServerObs(s *Server) *serverObs {
 	reg.NewCounterFunc("windowd_mst_batch_dedup_hits",
 		"Row evaluations answered by reusing the previous row's identical batched query set.", nil, func() []obs.Sample {
 			return []obs.Sample{{Value: float64(core.BatchSnapshot().DedupHits)}}
+		})
+	reg.NewCounterFunc("windowd_mst_batch_queries_family",
+		"Unique batched MST kernel queries split by kernel family: count, select, agg, rank.",
+		[]string{"family"}, func() []obs.Sample {
+			stats := core.BatchFamilySnapshot()
+			out := make([]obs.Sample, len(stats))
+			for i, st := range stats {
+				out[i] = obs.Sample{Labels: []string{st.Family}, Value: float64(st.Queries)}
+			}
+			return out
+		})
+	reg.NewCounterFunc("windowd_mst_batch_dedup_hits_family",
+		"Batched dedup hits split by kernel family: count, select, agg, rank.",
+		[]string{"family"}, func() []obs.Sample {
+			stats := core.BatchFamilySnapshot()
+			out := make([]obs.Sample, len(stats))
+			for i, st := range stats {
+				out[i] = obs.Sample{Labels: []string{st.Family}, Value: float64(st.DedupHits)}
+			}
+			return out
 		})
 
 	reg.NewCounterFunc("windowd_plan_shared_sorts",

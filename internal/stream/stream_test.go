@@ -5,6 +5,9 @@ import (
 	"math/rand"
 	"slices"
 	"testing"
+
+	"holistic/internal/mst"
+	"holistic/internal/mst/tune"
 )
 
 // model is a brute-force reference for the sliding window.
@@ -245,6 +248,51 @@ func BenchmarkPercentileQuery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, ok := agg.Percentile(0.99); !ok {
 			b.Fatal("empty window")
+		}
+	}
+}
+
+// TestAggregatorWithTuner pins the incremental path's tuner support: an
+// aggregator whose rebuilds use tuner-selected tree parameters must answer
+// identically to the fixed-parameter default across rebuild cycles.
+func TestAggregatorWithTuner(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tuned, err := NewAggregator(80, Options{
+		RebuildThreshold: 16,
+		Tree:             mst.Options{Tuning: tune.Default()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewAggregator(80, Options{RebuildThreshold: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := int64(0)
+	for step := 0; step < 1500; step++ {
+		ts += rng.Int63n(3)
+		val := rng.Int63n(60) - 20
+		if err := tuned.Observe(ts, val); err != nil {
+			t.Fatal(err)
+		}
+		if err := plain.Observe(ts, val); err != nil {
+			t.Fatal(err)
+		}
+		if step%23 != 0 {
+			continue
+		}
+		if a, b := tuned.DistinctCount(), plain.DistinctCount(); a != b {
+			t.Fatalf("step %d: distinct %d != %d", step, a, b)
+		}
+		v := rng.Int63n(70) - 25
+		if a, b := tuned.CountBelow(v), plain.CountBelow(v); a != b {
+			t.Fatalf("step %d: countBelow(%d) %d != %d", step, v, a, b)
+		}
+		p := rng.Float64()
+		aP, aOK := tuned.Percentile(p)
+		bP, bOK := plain.Percentile(p)
+		if aOK != bOK || (aOK && aP != bP) {
+			t.Fatalf("step %d: percentile(%v) (%d,%v) != (%d,%v)", step, p, aP, aOK, bP, bOK)
 		}
 	}
 }

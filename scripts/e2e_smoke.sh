@@ -71,6 +71,12 @@ dedup_query='{"sql":"select count(distinct v) over (order by d) as cd2 from t"}'
 curl -sf "$base/v1/query" -H 'Content-Type: application/json' -d "$dedup_query" | grep -q '"cd2"' \
     || { echo "FAIL: dedup query missing cd2 column"; exit 1; }
 
+# Same frame shape through the batched aggregate and DENSE_RANK kernels, so
+# the per-family batch metrics (agg, rank) fire alongside count/select.
+fam_query='{"sql":"select sum(distinct v) over (order by d) as sdv, dense_rank() over (order by v) as drv from t"}'
+curl -sf "$base/v1/query" -H 'Content-Type: application/json' -d "$fam_query" | grep -q '"sdv"' \
+    || { echo "FAIL: family query missing sdv column"; exit 1; }
+
 # Shared-plan optimizer: a multi-window statement (named-window inheritance
 # included) must report the plan shape in its query stats, and /v1/explain
 # must return the structured DAG alongside the legacy text plan.
@@ -103,6 +109,12 @@ for series in \
     'windowd_arena_arenas_total' \
     'windowd_mst_batch_queries' \
     'windowd_mst_batch_dedup_hits' \
+    'windowd_mst_batch_queries_family{family="count"}' \
+    'windowd_mst_batch_queries_family{family="select"}' \
+    'windowd_mst_batch_queries_family{family="agg"}' \
+    'windowd_mst_batch_queries_family{family="rank"}' \
+    'windowd_mst_batch_dedup_hits_family{family="count"}' \
+    'windowd_mst_batch_dedup_hits_family{family="agg"}' \
     'windowd_plan_shared_sorts' \
     'windowd_plan_shared_trees' \
     'windowd_plan_shared_preprocess' \
